@@ -1,0 +1,75 @@
+"""Ablation — validity ranges vs ad hoc cardinality-error thresholds.
+
+The paper (§1.2, §2.2) argues that fixed error thresholds (as in KD98) are
+the wrong trigger: "a 100x error in the cardinality of the NATION table may
+make no difference to plan optimality, whereas a 10 percent increase in
+ORDERS may turn a two-stage hash join into a three-stage hash join".  This
+ablation runs the Figure 11 sweep under (a) Newton-Raphson validity ranges
+and (b) ad hoc thresholds [est/K, est*K] for several K, and compares:
+
+* useless re-optimizations (a reopt that did not change the join order),
+* total work across the sweep.
+"""
+
+from __future__ import annotations
+
+import collections
+
+from repro.bench.harness import run_once
+from repro.bench.reporting import format_table, publish
+from repro.core.config import PopConfig
+from repro.workloads.tpch.queries import Q10_MARKER
+from repro.workloads.tpch.schema import shipmodes
+
+
+def sweep(tpch, config):
+    lineitem = tpch.catalog.table("lineitem")
+    counts = collections.Counter(row[10] for row in lineitem.rows)
+    modes = sorted(shipmodes(), key=lambda m: counts[m])[::3]  # every 3rd
+    total_units = 0.0
+    reopts = 0
+    useless = 0
+    for mode in modes:
+        outcome = run_once(tpch, Q10_MARKER, params={"p1": mode}, pop=config)
+        total_units += outcome.units
+        reopts += outcome.reoptimizations
+        attempts = outcome.report.attempts
+        for before, after in zip(attempts, attempts[1:]):
+            if before.join_order == after.join_order and not after.reused_mvs:
+                useless += 1
+    return {"units": total_units, "reopts": reopts, "useless": useless}
+
+
+def test_ablation_validity_vs_adhoc(tpch, benchmark):
+    def run():
+        results = {}
+        results["validity ranges (paper)"] = sweep(tpch, PopConfig())
+        for k in (2.0, 5.0, 20.0):
+            results[f"ad hoc threshold K={k:g}"] = sweep(
+                tpch,
+                PopConfig(adhoc_threshold_factor=k, require_alternatives=False),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["trigger policy", "total units", "reoptimizations", "useless reopts"],
+        [
+            (name, r["units"], r["reopts"], r["useless"])
+            for name, r in results.items()
+        ],
+    )
+    validity = results["validity ranges (paper)"]
+    tight = results["ad hoc threshold K=2"]
+    summary = (
+        "\nTight ad hoc thresholds re-optimize on harmless errors; loose ones"
+        "\nmiss harmful errors. Validity ranges adapt the trigger to actual"
+        "\nplan crossovers, which is the paper's core argument."
+    )
+    publish("ablation_validity", "Ablation: validity ranges vs ad hoc thresholds",
+            table + summary)
+
+    # The paper's claim, measurably: a tight fixed threshold triggers at
+    # least as many re-optimizations, without being cheaper overall.
+    assert tight["reopts"] >= validity["reopts"]
+    assert validity["units"] <= min(r["units"] for r in results.values()) * 1.05

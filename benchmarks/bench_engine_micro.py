@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the engine itself (conventional pytest-benchmark
+timings): optimizer latency, executor throughput, CHECK overhead per row.
+
+These are not paper figures; they quantify the substrate so the figure
+benchmarks can be read in context (e.g. how much wall time one
+re-optimization actually costs in this implementation).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import NO_POP, PopConfig
+from repro.workloads.tpch.queries import Q5, Q10_MARKER, TPCH_QUERIES
+
+
+def test_optimize_q5_latency(tpch, benchmark):
+    """Six-table dynamic-programming optimization."""
+    query = tpch._to_query(Q5)
+    benchmark(lambda: tpch.optimizer.optimize(query))
+
+
+def test_optimize_q9_latency(tpch, benchmark):
+    """Six-table optimization with a two-column join."""
+    query = tpch._to_query(TPCH_QUERIES["Q9"])
+    benchmark(lambda: tpch.optimizer.optimize(query))
+
+
+def test_execute_q3_throughput(tpch, benchmark):
+    """End-to-end execution of a three-table aggregate query."""
+    benchmark(lambda: tpch.execute_without_pop(TPCH_QUERIES["Q3"]))
+
+
+def test_check_overhead_per_row(tpch, benchmark):
+    """POP's steady-state cost: same query with checkpoints placed but never
+    triggered vs none (the paper's 'negligible overhead' claim in wall time)."""
+
+    def run_with_checks():
+        return tpch.execute(
+            Q10_MARKER, params={"p1": "MODE05"}, pop=PopConfig(dry_run=True)
+        )
+
+    benchmark(run_with_checks)
+
+
+def test_sql_parse_bind_latency(tpch, benchmark):
+    """Front-end cost of parsing + binding a six-table query."""
+    benchmark(lambda: tpch._to_query(Q5))
+
+
+def test_runstats_latency(tpch, benchmark):
+    """Statistics collection over the orders table."""
+    benchmark(lambda: tpch.runstats(tables=["orders"]))

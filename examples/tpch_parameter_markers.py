@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""The paper's Section 5.1 scenario on TPC-H: parameter markers.
+
+Reproduces the Figure 11 story interactively: Q10 with a marker on the
+LINEITEM predicate is executed for a rare, a mid, and a dominant bind
+value, showing the same compiled plan behave very differently — and POP
+repairing the bad cases at runtime.
+
+Run:  python examples/tpch_parameter_markers.py
+"""
+
+import collections
+
+from repro.workloads.tpch.generator import make_tpch_db
+from repro.workloads.tpch.queries import Q10_MARKER
+
+print("Loading TPC-H (scale 0.01)...")
+db = make_tpch_db(scale_factor=0.01)
+
+lineitem = db.catalog.table("lineitem")
+counts = collections.Counter(row[10] for row in lineitem.rows)
+total = lineitem.row_count
+
+print("\nThe compiled plan (marker value unknown, default selectivity):")
+print(db.explain(Q10_MARKER))
+print(
+    "\nNote the CHECK[LCEM] guarding the nested-loop outer: its range is the"
+    "\nvalidity range computed by the Fig. 5 sensitivity analysis during"
+    "\npruning — the cardinalities for which NLJN provably stays optimal."
+)
+
+for mode in ["MODE27", "MODE04", "MODE00"]:
+    selectivity = counts[mode] / total
+    with_pop = db.execute(Q10_MARKER, params={"p1": mode})
+    without = db.execute_without_pop(Q10_MARKER, params={"p1": mode})
+    assert sorted(with_pop.rows) == sorted(without.rows)
+    print(f"\n--- bind {mode} (actual selectivity {selectivity:.2%}) ---")
+    print(with_pop.report.summary())
+    ratio = without.report.total_units / with_pop.report.total_units
+    print(
+        f"static plan: {without.report.total_units:,.0f} units | "
+        f"POP: {with_pop.report.total_units:,.0f} units | ratio {ratio:.2f}x"
+    )
+    final = with_pop.report.attempts[-1]
+    if with_pop.report.reoptimizations:
+        print(f"re-optimized to: {final.join_order}")
+        if final.reused_mvs:
+            print(f"reused intermediate results: {', '.join(final.reused_mvs)}")

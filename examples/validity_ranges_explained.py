@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""A guided tour of validity ranges (paper §2.2) on a concrete plan.
+
+Shows the cost functions of competing join methods as functions of the
+outer cardinality, where they cross, and how the Fig. 5 modified
+Newton-Raphson probe finds those crossovers during pruning — the numbers
+that end up as CHECK ranges in the executable plan.
+
+Run:  python examples/validity_ranges_explained.py
+"""
+
+from repro.optimizer.costmodel import CostModel
+from repro.optimizer.validity import narrow_validity_range
+from repro.plan.physical import NLJoin, find_ops
+from repro.plan.properties import ValidityRange
+from repro.workloads.tpch.generator import make_tpch_db
+from repro.workloads.tpch.queries import Q10_MARKER
+
+print("Loading TPC-H (scale 0.01)...")
+db = make_tpch_db(scale_factor=0.01)
+cm: CostModel = db.optimizer.cost_model
+
+# ------------------------------------------------ 1. the two cost functions
+
+# Index NLJN (lineitem -> orders) vs hash join at varying outer cardinality.
+orders = db.catalog.table("orders")
+orders_pages = float(orders.page_count)
+probe = cm.index_probe_cost(1.0, orders_pages)
+scan = cm.table_scan_cost(orders_pages, orders.row_count)
+
+
+def nljn_cost(outer_card: float) -> float:
+    return cm.nljn_index_cost(outer_card, 1.0, outer_card, orders_pages)
+
+
+def hsjn_cost(outer_card: float) -> float:
+    # Probe with the outer, build on orders (cardinality-independent build).
+    return scan + cm.hash_join_cost(outer_card, orders.row_count, outer_card)
+
+
+print(f"\nper-probe cost into ORDERS: {probe:.3f} units")
+print(f"ORDERS scan+build cost:     {scan:.0f} units (outer-independent)\n")
+print(f"{'outer rows':>12} {'index NLJN':>12} {'hash join':>12}  cheaper")
+for outer in (100, 500, 1000, 2500, 5000, 10000, 25000):
+    nl, hs = nljn_cost(outer), hsjn_cost(outer)
+    print(f"{outer:12d} {nl:12.0f} {hs:12.0f}  {'NLJN' if nl < hs else 'HSJN'}")
+
+# -------------------------------------- 2. the Fig. 5 probe finds the cross
+
+est = 2400.0  # the default-selectivity estimate for the marker predicate
+rng = ValidityRange()
+narrow_validity_range(rng, est, nljn_cost, hsjn_cost)
+print(
+    f"\nFig. 5 Newton-Raphson probe from est={est:.0f}:"
+    f"\n  validity range for the NLJN outer edge: {rng}"
+    "\n  (inside the range, NLJN provably stays cheaper than hash join;"
+    "\n  outside it, a CHECK triggers re-optimization)"
+)
+
+# ------------------------------------------- 3. the same numbers in a plan
+
+plan = db.optimizer.optimize(db._to_query(Q10_MARKER)).plan
+for join in find_ops(plan, NLJoin):
+    print(
+        f"\nactual plan: {join.describe()}"
+        f"\n  outer edge validity range: {join.validity_ranges[0]}"
+        f"\n  inner edge validity range: {join.validity_ranges[1]}"
+    )
+print("\nfull plan with checkpoints:")
+print(db.explain(Q10_MARKER))

@@ -1,0 +1,150 @@
+"""Terminal (ASCII) charts for the figure benchmarks.
+
+The paper's figures are line charts, stacked bars and scatter plots; the
+benchmarks render terminal approximations so the shape is visible directly
+in the benchmark output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+
+def _scale(values: Sequence[float], width: int, log: bool) -> list[int]:
+    if log:
+        transformed = [math.log10(max(v, 1e-9)) for v in values]
+    else:
+        transformed = list(values)
+    lo, hi = min(transformed), max(transformed)
+    span = hi - lo or 1.0
+    return [int(round((v - lo) / span * (width - 1))) for v in transformed]
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render multiple y-series over a shared x axis as an ASCII chart.
+
+    Each series gets a marker character; points are plotted on a
+    ``height`` × ``width`` grid with min/max-scaled axes (optionally log-y).
+    """
+    if not x:
+        return "(no data)"
+    markers = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    xs = _scale(list(x), width, log=False)
+    all_y = [v for ys in series.values() for v in ys]
+    if log_y:
+        lo, hi = min(all_y), max(all_y)
+        lo_t, hi_t = math.log10(max(lo, 1e-9)), math.log10(max(hi, 1e-9))
+    else:
+        lo, hi = min(all_y), max(all_y)
+        lo_t, hi_t = lo, hi
+    span = hi_t - lo_t or 1.0
+
+    def row_for(value: float) -> int:
+        t = math.log10(max(value, 1e-9)) if log_y else value
+        frac = (t - lo_t) / span
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for marker, (name, ys) in zip(markers, series.items()):
+        for xi, value in zip(xs, ys):
+            grid[row_for(value)][xi] = marker
+
+    lines = []
+    top_label = f"{hi:,.0f}"
+    bottom_label = f"{lo:,.0f}"
+    label_width = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        prefix = top_label if i == 0 else bottom_label if i == height - 1 else ""
+        lines.append(f"{prefix:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    if x_label:
+        lines.append(" " * (label_width + 2) + x_label)
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(markers, series.keys())
+    )
+    lines.append((y_label + "  " if y_label else "") + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    zero_line: Optional[float] = None,
+) -> str:
+    """Horizontal bars; with ``zero_line`` set, bars extend left/right of it
+    (the Figure 16 speedup/regression shape)."""
+    if not labels:
+        return "(no data)"
+    label_width = max(len(l) for l in labels)
+    lines = []
+    if zero_line is not None:
+        max_abs = max(abs(v - zero_line) for v in values) or 1.0
+        half = width // 2
+        for label, value in zip(labels, values):
+            offset = value - zero_line
+            n = int(round(abs(offset) / max_abs * half))
+            if offset >= 0:
+                bar = " " * half + "|" + "#" * n
+            else:
+                bar = " " * (half - n) + "#" * n + "|"
+            lines.append(f"{label:>{label_width}} {bar}  {value:+.2f}")
+    else:
+        max_v = max(values) or 1.0
+        for label, value in zip(labels, values):
+            n = int(round(value / max_v * width))
+            lines.append(f"{label:>{label_width}} {'#' * n}  {value:,.1f}")
+    return "\n".join(lines)
+
+
+def scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 48,
+    height: int = 20,
+    log: bool = True,
+    diagonal: bool = True,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """A scatter plot with an optional y=x diagonal (the Figure 15 shape:
+    points below the diagonal improved, above regressed)."""
+    if not xs:
+        return "(no data)"
+    both = list(xs) + list(ys)
+    if log:
+        lo = math.log10(max(min(both), 1e-9))
+        hi = math.log10(max(max(both), 1e-9))
+    else:
+        lo, hi = min(both), max(both)
+    span = hi - lo or 1.0
+
+    def to_col(v: float) -> int:
+        t = math.log10(max(v, 1e-9)) if log else v
+        return int(round((t - lo) / span * (width - 1)))
+
+    def to_row(v: float) -> int:
+        t = math.log10(max(v, 1e-9)) if log else v
+        return (height - 1) - int(round((t - lo) / span * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    if diagonal:
+        for c in range(width):
+            r = (height - 1) - int(round(c / (width - 1) * (height - 1)))
+            grid[r][c] = "."
+    for x, y in zip(xs, ys):
+        grid[to_row(y)][to_col(x)] = "o"
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    if x_label or y_label:
+        lines.append(f" x: {x_label}   y: {y_label}   (.: y = x)")
+    return "\n".join(lines)

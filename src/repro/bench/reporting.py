@@ -1,0 +1,54 @@
+"""Formatting and persistence helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def results_dir() -> str:
+    """The directory benchmark outputs are written to."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.environ.get(
+        "REPRO_BENCH_RESULTS", os.path.join(here, "benchmarks", "results")
+    )
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def publish(name: str, title: str, body: str) -> str:
+    """Print a result block and persist it under benchmarks/results/."""
+    text = f"=== {title} ===\n{body}\n"
+    print("\n" + text)
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text)
+    return path

@@ -1,0 +1,339 @@
+"""An interactive SQL shell for the repro engine.
+
+Run ``python -m repro`` for a REPL, or ``python -m repro --tpch 0.005 -c
+"SELECT ..."`` for one-shot execution.  Statements end with ``;``; lines
+starting with ``\\`` are meta commands (``\\help`` lists them).
+
+The shell is deliberately dependency-free and stream-injectable so the test
+suite can drive it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable, Optional, TextIO
+
+from repro import Database, NO_POP, PopConfig
+from repro.common.errors import ReproError
+from repro.core.flavors import ALL_FLAVORS
+
+HELP = """\
+meta commands:
+  \\help                     this text
+  \\load tpch [scale]        load the TPC-H-style workload (default 0.005)
+  \\load dmv                 load the DMV-style workload
+  \\tables                   list tables with row counts
+  \\schema TABLE             show a table's columns
+  \\explain SQL...           show the plan (with checkpoints) for a statement
+  \\analyze SQL...           execute and show per-attempt plans with
+                            estimated vs actual cardinalities
+  \\pop on|off               enable/disable progressive optimization
+  \\pop flavors F1,F2        set checkpoint flavors (LC,LCEM,ECB,ECWC,ECDC)
+  \\learning on|off          cross-statement cardinality learning
+  \\save DIR                 persist the database to a directory
+  \\open DIR                 load a database saved with \\save
+  \\set NAME VALUE           bind a parameter for ? / :name markers
+  \\params                   show current parameter bindings
+  \\timing on|off            print work units and wall time per statement
+  \\q                        quit
+SQL statements end with ';'."""
+
+
+class Shell:
+    """The REPL engine; IO streams are injectable for testing."""
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        out: Optional[TextIO] = None,
+    ):
+        self.db = db if db is not None else Database()
+        # Resolve stdout at call time so test harnesses can capture it.
+        self.out = out if out is not None else sys.stdout
+        self.pop_enabled = True
+        self.flavors: Optional[frozenset] = None
+        self.params: dict[str, Any] = {}
+        self.timing = True
+        self.running = True
+
+    # ---------------------------------------------------------------- output
+
+    def write(self, text: str = "") -> None:
+        self.out.write(text + "\n")
+
+    # ----------------------------------------------------------------- loop
+
+    def run(self, lines) -> None:
+        """Consume an iterable of input lines until exhausted or ``\\q``."""
+        buffer: list[str] = []
+        for raw in lines:
+            if not self.running:
+                break
+            line = raw.rstrip("\n")
+            stripped = line.strip()
+            if not buffer and stripped.startswith("\\"):
+                self.handle_meta(stripped)
+                continue
+            if not stripped and not buffer:
+                continue
+            buffer.append(line)
+            if stripped.endswith(";"):
+                statement = "\n".join(buffer).strip().rstrip(";")
+                buffer = []
+                if statement:
+                    self.execute_sql(statement)
+        if buffer:
+            self.execute_sql("\n".join(buffer).strip().rstrip(";"))
+
+    # ----------------------------------------------------------------- meta
+
+    def handle_meta(self, line: str) -> None:
+        parts = line[1:].split()
+        if not parts:
+            return
+        command, args = parts[0].lower(), parts[1:]
+        handler: Optional[Callable] = getattr(self, f"_meta_{command}", None)
+        if command == "q" or command == "quit":
+            self.running = False
+            return
+        if handler is None:
+            self.write(f"unknown command \\{command} (try \\help)")
+            return
+        try:
+            handler(args)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+
+    def _meta_help(self, args) -> None:
+        self.write(HELP)
+
+    def _meta_load(self, args) -> None:
+        if not args:
+            self.write("usage: \\load tpch [scale] | \\load dmv")
+            return
+        workload = args[0].lower()
+        if workload == "tpch":
+            from repro.workloads.tpch.generator import load_tpch
+
+            scale = float(args[1]) if len(args) > 1 else 0.005
+            counts = load_tpch(self.db, scale_factor=scale)
+            self.write(
+                f"loaded TPC-H at scale {scale}: "
+                + ", ".join(f"{t}={n}" for t, n in sorted(counts.items()))
+            )
+        elif workload == "dmv":
+            from repro.workloads.dmv.generator import load_dmv
+
+            counts = load_dmv(self.db)
+            self.write(
+                "loaded DMV: "
+                + ", ".join(f"{t}={n}" for t, n in sorted(counts.items()))
+            )
+        else:
+            self.write(f"unknown workload {workload!r} (tpch or dmv)")
+
+    def _meta_tables(self, args) -> None:
+        tables = self.db.catalog.tables()
+        if not tables:
+            self.write("(no tables — try \\load tpch)")
+            return
+        for table in sorted(tables, key=lambda t: t.name):
+            self.write(f"  {table.name:20s} {table.row_count:>10,} rows")
+
+    def _meta_schema(self, args) -> None:
+        if not args:
+            self.write("usage: \\schema TABLE")
+            return
+        table = self.db.catalog.table(args[0])
+        for column in table.schema:
+            self.write(f"  {column.name:24s} {column.dtype.value}")
+        indexes = self.db.catalog.indexes_on(table.name)
+        for index in indexes:
+            kind = "sorted" if index.supports_range else "hash"
+            self.write(f"  [index {index.name} on {index.column} ({kind})]")
+
+    def _meta_explain(self, args) -> None:
+        if not args:
+            self.write("usage: \\explain SELECT ...")
+            return
+        sql = " ".join(args).rstrip(";")
+        self.write(self.db.explain(sql, pop=self._config()))
+
+    def _meta_analyze(self, args) -> None:
+        if not args:
+            self.write("usage: \\analyze SELECT ...")
+            return
+        from repro.plan.analyze import explain_analyze
+
+        sql = " ".join(args).rstrip(";")
+        try:
+            result = self.db.execute(sql, params=self.params, pop=self._config())
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        self.write(explain_analyze(result.report))
+        self.write(
+            f"{len(result.rows)} row(s), "
+            f"{result.report.total_units:,.0f} work units, "
+            f"{result.report.reoptimizations} re-optimization(s)"
+        )
+
+    def _meta_pop(self, args) -> None:
+        if not args:
+            state = "on" if self.pop_enabled else "off"
+            flavors = ",".join(sorted(self.flavors)) if self.flavors else "default"
+            self.write(f"POP is {state} (flavors: {flavors})")
+            return
+        if args[0] == "on":
+            self.pop_enabled = True
+        elif args[0] == "off":
+            self.pop_enabled = False
+        elif args[0] == "flavors" and len(args) > 1:
+            requested = {f.strip().upper() for f in args[1].split(",") if f.strip()}
+            unknown = requested - set(ALL_FLAVORS)
+            if unknown:
+                self.write(f"unknown flavors: {sorted(unknown)}")
+                return
+            self.flavors = frozenset(requested)
+        else:
+            self.write("usage: \\pop on|off | \\pop flavors LC,LCEM")
+            return
+        self._meta_pop([])
+
+    def _meta_learning(self, args) -> None:
+        if args and args[0] == "on":
+            self.db.enable_learning()
+            self.write("learning on")
+        elif args and args[0] == "off":
+            self.db.disable_learning()
+            self.write("learning off")
+        else:
+            state = "on" if self.db.learning is not None else "off"
+            self.write(f"learning is {state}")
+
+    def _meta_save(self, args) -> None:
+        if not args:
+            self.write("usage: \\save DIR")
+            return
+        from repro.storage.persistence import save_database
+
+        save_database(self.db, args[0])
+        self.write(f"saved to {args[0]}")
+
+    def _meta_open(self, args) -> None:
+        if not args:
+            self.write("usage: \\open DIR")
+            return
+        from repro.storage.persistence import load_database
+
+        self.db = load_database(args[0])
+        self.write(f"opened {args[0]}")
+
+    def _meta_set(self, args) -> None:
+        if len(args) < 2:
+            self.write("usage: \\set NAME VALUE")
+            return
+        name, raw = args[0], " ".join(args[1:])
+        value: Any = raw
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw.strip("'\"")
+        self.params[name] = value
+        self.write(f"{name} = {value!r}")
+
+    def _meta_params(self, args) -> None:
+        if not self.params:
+            self.write("(no parameters bound)")
+        for name, value in sorted(self.params.items()):
+            self.write(f"  {name} = {value!r}")
+
+    def _meta_timing(self, args) -> None:
+        if args:
+            self.timing = args[0] == "on"
+        self.write(f"timing is {'on' if self.timing else 'off'}")
+
+    # ------------------------------------------------------------------ SQL
+
+    def _config(self) -> PopConfig:
+        if not self.pop_enabled:
+            return NO_POP
+        if self.flavors is not None:
+            return PopConfig(flavors=self.flavors)
+        return PopConfig()
+
+    def execute_sql(self, sql: str) -> None:
+        try:
+            result = self.db.execute(sql, params=self.params, pop=self._config())
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        widths = [max(len(c), 10) for c in result.columns]
+        self.write("  ".join(c.ljust(w) for c, w in zip(result.columns, widths)))
+        self.write("  ".join("-" * w for w in widths))
+        shown = result.rows[:50]
+        for row in shown:
+            cells = [
+                f"{v:.4f}" if isinstance(v, float) else str(v) for v in row
+            ]
+            self.write("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        if len(result.rows) > len(shown):
+            self.write(f"... ({len(result.rows)} rows total)")
+        if self.timing:
+            report = result.report
+            note = (
+                f" ({report.reoptimizations} re-optimization(s))"
+                if report.reoptimizations
+                else ""
+            )
+            self.write(
+                f"{len(result.rows)} row(s), {report.total_units:,.0f} work "
+                f"units, {report.wall_seconds * 1000:.1f} ms{note}"
+            )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="POP reproduction SQL shell"
+    )
+    parser.add_argument("-c", "--command", help="execute one statement and exit")
+    parser.add_argument(
+        "--tpch", type=float, metavar="SCALE", help="preload TPC-H at SCALE"
+    )
+    parser.add_argument(
+        "--dmv", action="store_true", help="preload the DMV workload"
+    )
+    parser.add_argument(
+        "--no-pop", action="store_true", help="start with POP disabled"
+    )
+    args = parser.parse_args(argv)
+
+    shell = Shell()
+    if args.no_pop:
+        shell.pop_enabled = False
+    if args.tpch is not None:
+        shell._meta_load(["tpch", str(args.tpch)])
+    if args.dmv:
+        shell._meta_load(["dmv"])
+    if args.command:
+        shell.execute_sql(args.command.rstrip(";"))
+        return 0
+    shell.write("repro shell — \\help for commands, \\q to quit")
+    try:
+        while shell.running:
+            try:
+                line = input("repro> ")
+            except EOFError:
+                break
+            shell.run([line])
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

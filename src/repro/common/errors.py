@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch engine failures with a single ``except`` clause while
+still being able to distinguish the individual failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class CatalogError(ReproError):
+    """A catalog object (table, index, column, statistic) is missing or invalid."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is malformed (duplicate column, unknown type, ...)."""
+
+
+class BindError(ReproError):
+    """A SQL identifier could not be resolved against the catalog."""
+
+
+class ParseError(ReproError):
+    """The SQL text is syntactically invalid.
+
+    Attributes
+    ----------
+    position:
+        Character offset into the SQL text where the error was detected,
+        or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan (e.g. disconnected join graph
+    with cross products disabled, or no enabled join method)."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure inside the executor."""
+
+
+class UnboundParameterError(ExecutionError):
+    """A parameter marker had no value bound at execution time."""
+
+
+class StatisticsError(ReproError):
+    """Statistics are missing or inconsistent for an estimation request."""

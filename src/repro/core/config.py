@@ -1,0 +1,70 @@
+"""POP configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.flavors import DEFAULT_FLAVORS
+
+
+@dataclass
+class PopConfig:
+    """Controls progressive optimization for one statement.
+
+    The defaults mirror the paper's prototype defaults (§4): only the
+    conservative LC and LCEM flavors are placed; eager flavors are opt-in;
+    re-optimization is capped at three rounds; checkpoints are skipped for
+    cheap queries and for edges with no plan alternative.
+    """
+
+    enabled: bool = True
+    #: Which checkpoint flavors the placement pass may use.
+    flavors: frozenset = DEFAULT_FLAVORS
+    #: Termination heuristic (§7): at most this many re-optimizations.
+    max_reoptimizations: int = 3
+    #: Queries with estimated cost below this get no checkpoints (§4).
+    min_cost_for_checkpoints: float = 25.0
+    #: Only place a CHECK when its validity range was actually narrowed,
+    #: i.e. an alternative plan exists above the checkpoint (§4).
+    require_alternatives: bool = True
+    #: Cap on ECB's valve buffer.
+    ecb_buffer_cap: int = 100_000
+    #: Intermediate-result reuse policy: "cost" (paper: optimizer decides),
+    #: "never", or "always" (ablation modes).
+    reuse_policy: str = "cost"
+    #: When set, replaces validity-range check ranges with the ad hoc
+    #: interval [est/K, est*K] (the KD98-style threshold the paper argues
+    #: against; used by the ablation bench).
+    adhoc_threshold_factor: Optional[float] = None
+    #: Log checkpoint evaluations without ever triggering (Fig. 14 mode).
+    dry_run: bool = False
+    #: Checkpoint op_ids that trigger even inside their range (Fig. 12's
+    #: "dummy re-optimization"), applied to the first execution attempt.
+    force_trigger_op_ids: frozenset = frozenset()
+    #: Propagate cardinality feedback between attempts (ablation switch).
+    use_feedback: bool = True
+    #: §7 extension — trigger re-optimization when cumulative work exceeds
+    #: this budget (in work units), not just on cardinality violations.
+    #: The budget escalates per attempt to guarantee progress.
+    work_budget: Optional[float] = None
+    #: §7 extension — derive the re-optimization limit from query complexity
+    #: (joins and parameter markers) instead of the fixed cap.
+    adaptive_reopt_limit: bool = False
+
+    def reopt_limit_for(self, query) -> int:
+        """The effective re-optimization cap for ``query``."""
+        if not self.adaptive_reopt_limit:
+            return self.max_reoptimizations
+        joins = len(query.join_predicates)
+        markers = len(query.parameter_names())
+        return max(1, min(5, 1 + joins // 2 + markers))
+
+    def __post_init__(self) -> None:
+        if self.reuse_policy not in ("cost", "never", "always"):
+            raise ValueError(f"unknown reuse policy {self.reuse_policy!r}")
+        self.flavors = frozenset(self.flavors)
+
+
+#: A disabled-POP configuration (the paper's "without POP" baseline).
+NO_POP = PopConfig(enabled=False)

@@ -1,0 +1,170 @@
+"""The public `Database` facade — the library's main entry point.
+
+Typical use::
+
+    from repro import Database, PopConfig
+
+    db = Database()
+    db.create_table("t", [("id", "int"), ("v", "str")])
+    db.insert("t", [(1, "a"), (2, "b")])
+    db.create_index("t_id", "t", "id")
+    db.runstats()
+    result = db.execute("SELECT t.v FROM t WHERE t.id = 1")
+    print(result.rows)
+
+``execute`` accepts SQL text or a :class:`repro.plan.logical.Query`, bind
+parameters for ``?`` markers, and a :class:`PopConfig` controlling
+progressive optimization (enabled with conservative defaults unless told
+otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.core.config import NO_POP, PopConfig
+from repro.core.driver import PopDriver, PopReport
+from repro.core.learning import LearnedCardinalities
+from repro.executor.meter import WorkMeter
+from repro.optimizer.costmodel import CostParams, DEFAULT_COST_PARAMS
+from repro.optimizer.enumeration import OptimizerOptions
+from repro.optimizer.optimizer import Optimizer
+from repro.plan.explain import explain_plan
+from repro.plan.logical import Query
+from repro.stats.collect import runstats as collect_runstats
+from repro.stats.selectivity import SelectivityEstimator
+from repro.storage.catalog import Catalog
+from repro.storage.table import Schema
+
+
+@dataclass
+class Result:
+    """Rows plus the execution report of one statement."""
+
+    columns: list
+    rows: list
+    report: PopReport
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class Database:
+    """An in-memory database with a POP-enabled query processor."""
+
+    def __init__(
+        self,
+        cost_params: CostParams = DEFAULT_COST_PARAMS,
+        optimizer_options: Optional[OptimizerOptions] = None,
+        selectivity: Optional[SelectivityEstimator] = None,
+    ):
+        self.catalog = Catalog()
+        self.cost_params = cost_params
+        self.optimizer = Optimizer(
+            self.catalog,
+            cost_params=cost_params,
+            options=optimizer_options,
+            selectivity=selectivity,
+        )
+        #: §7 "Learning for the Future": when enabled, exact cardinalities
+        #: observed at runtime correct the estimates of *future* statements.
+        self.learning: Optional[LearnedCardinalities] = None
+
+    def enable_learning(self) -> "LearnedCardinalities":
+        """Turn on cross-statement cardinality learning (LEO-style)."""
+        if self.learning is None:
+            self.learning = LearnedCardinalities()
+        return self.learning
+
+    def disable_learning(self) -> None:
+        self.learning = None
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(self, name: str, columns: Sequence[tuple[str, str]]):
+        """Create a table from ``(column, type)`` pairs."""
+        return self.catalog.create_table(name, Schema.of(*columns))
+
+    def create_index(self, name: str, table: str, column: str, kind: str = "sorted"):
+        return self.catalog.create_index(name, table, column, kind)
+
+    def insert(self, table: str, rows) -> None:
+        self.catalog.table(table).insert_many(rows)
+        self.catalog.rebuild_indexes(table)
+
+    def load_raw(self, table: str, rows: list) -> None:
+        """Bulk load pre-coerced tuples and rebuild indexes."""
+        self.catalog.table(table).load_raw(rows)
+        self.catalog.rebuild_indexes(table)
+
+    def runstats(
+        self,
+        tables: Optional[Sequence[str]] = None,
+        num_buckets: int = 20,
+        num_mcvs: int = 10,
+    ) -> None:
+        """Collect optimizer statistics (the paper's RUNSTATS step)."""
+        collect_runstats(
+            self.catalog, tables, num_buckets=num_buckets, num_mcvs=num_mcvs
+        )
+
+    # ---------------------------------------------------------------- queries
+
+    def _to_query(self, statement: str | Query) -> Query:
+        if isinstance(statement, Query):
+            return statement
+        from repro.sql.binder import bind_sql
+
+        return bind_sql(statement, self.catalog)
+
+    def execute(
+        self,
+        statement: str | Query,
+        params: Optional[dict[str, Any]] = None,
+        pop: Optional[PopConfig] = None,
+        meter: Optional[WorkMeter] = None,
+    ) -> Result:
+        """Run a statement; POP is enabled by default."""
+        query = self._to_query(statement)
+        config = pop if pop is not None else PopConfig()
+        driver = PopDriver(self.optimizer, config)
+        feedback = self.learning.seed() if self.learning is not None else None
+        rows, report = driver.run(
+            query, params=params, meter=meter, feedback=feedback
+        )
+        if self.learning is not None and feedback is not None:
+            self.learning.absorb(feedback)
+        return Result(columns=query.output_names, rows=rows, report=report)
+
+    def execute_without_pop(
+        self,
+        statement: str | Query,
+        params: Optional[dict[str, Any]] = None,
+        meter: Optional[WorkMeter] = None,
+    ) -> Result:
+        """The paper's baseline: static optimization, no checkpoints."""
+        return self.execute(statement, params=params, pop=NO_POP, meter=meter)
+
+    def explain(
+        self,
+        statement: str | Query,
+        params: Optional[dict[str, Any]] = None,
+        pop: Optional[PopConfig] = None,
+    ) -> str:
+        """The plan (with checkpoints) the statement would run with."""
+        from repro.core.placement import place_checkpoints
+
+        query = self._to_query(statement)
+        config = pop if pop is not None else PopConfig()
+        opt = self.optimizer.optimize(query)
+        placement = place_checkpoints(
+            opt.plan,
+            config,
+            self.optimizer.cost_model,
+            is_spj=not (query.has_aggregates or query.distinct),
+        )
+        return explain_plan(placement.plan)

@@ -1,0 +1,284 @@
+"""The POP driver: the optimize → check → execute → re-optimize loop.
+
+This is the paper's Figure 3 architecture.  One :meth:`PopDriver.run` call
+performs the initial optimization, inserts checkpoints, executes, and — each
+time a CHECK fires — harvests feedback and intermediate results, re-invokes
+the optimizer, and re-executes, oscillating up to the configured
+re-optimization limit.  The final attempt always runs without checkpoints so
+termination is guaranteed (paper §7's heuristic).
+
+Rows already pipelined to the application before an ECDC check fired are
+compensated with an anti-join on the next attempt, so the application never
+observes duplicates (paper §3.3).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import ExecutionError
+from repro.core.config import PopConfig
+from repro.core.feedback import CardinalityFeedback
+from repro.core.intermediates import harvest_execution_state
+from repro.core.placement import place_checkpoints
+from repro.executor.base import (
+    CheckpointEvent,
+    ExecutionContext,
+    ReoptimizationSignal,
+)
+from repro.executor.meter import WorkMeter
+from repro.executor.runtime import run_plan
+from repro.optimizer.optimizer import Optimizer
+from repro.plan.explain import explain_plan, join_order
+from repro.plan.logical import Query
+from repro.plan.physical import AntiJoin, MVScan, PlanOp, Return, find_ops
+
+#: Harvest configuration for completed runs: feedback only, no temp MVs.
+_FEEDBACK_ONLY = PopConfig(reuse_policy="never")
+
+
+def _collect_actuals(ctx: ExecutionContext) -> dict:
+    """Snapshot per-operator runtime counters for EXPLAIN ANALYZE."""
+    actuals = {}
+    for op in ctx.operators:
+        if op.plan.op_id is not None:
+            actuals[op.plan.op_id] = (op.rows_out, op.eof_seen)
+    return actuals
+
+
+@dataclass
+class AttemptReport:
+    """What happened during one optimize+execute round."""
+
+    plan: PlanOp
+    plan_text: str
+    join_order: str
+    checkpoints_placed: int
+    optimization_units: float
+    execution_units: float
+    checkpoint_events: list = field(default_factory=list)
+    reused_mvs: list = field(default_factory=list)
+    #: Set when this attempt ended in a re-optimization signal.
+    signal_op_id: Optional[int] = None
+    signal_flavor: Optional[str] = None
+    signal_observed: Optional[float] = None
+    signal_complete: Optional[bool] = None
+    signal_reason: Optional[str] = None
+    rows_emitted: int = 0
+    #: op_id -> (rows emitted, reached end-of-stream) observed at runtime;
+    #: feeds EXPLAIN ANALYZE (estimated vs actual per operator).
+    actual_cards: dict = field(default_factory=dict)
+
+    @property
+    def reoptimized(self) -> bool:
+        return self.signal_op_id is not None
+
+
+@dataclass
+class PopReport:
+    """Full account of one statement execution under POP."""
+
+    attempts: list
+    total_units: float
+    wall_seconds: float
+    pop_enabled: bool
+
+    @property
+    def reoptimizations(self) -> int:
+        return sum(1 for a in self.attempts if a.reoptimized)
+
+    @property
+    def final_plan(self) -> PlanOp:
+        return self.attempts[-1].plan
+
+    @property
+    def checkpoint_events(self) -> list:
+        events: list[CheckpointEvent] = []
+        for attempt in self.attempts:
+            events.extend(attempt.checkpoint_events)
+        return events
+
+    def summary(self) -> str:
+        lines = [
+            f"POP {'on' if self.pop_enabled else 'off'}: "
+            f"{len(self.attempts)} attempt(s), "
+            f"{self.reoptimizations} re-optimization(s), "
+            f"{self.total_units:.1f} work units",
+        ]
+        for i, a in enumerate(self.attempts):
+            tag = (
+                f" -> reopt at CHECK[{a.signal_flavor}] op={a.signal_op_id} "
+                f"observed={a.signal_observed:.0f}"
+                if a.reoptimized
+                else " -> completed"
+            )
+            lines.append(
+                f"  attempt {i}: {a.join_order} "
+                f"(exec {a.execution_units:.1f}u, opt {a.optimization_units:.1f}u)"
+                + tag
+            )
+        return "\n".join(lines)
+
+
+class PopDriver:
+    """Runs statements with progressive optimization."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        config: Optional[PopConfig] = None,
+        lc_above_hash_build: bool = False,
+    ):
+        self.optimizer = optimizer
+        self.catalog = optimizer.catalog
+        self.config = config if config is not None else PopConfig()
+        self.lc_above_hash_build = lc_above_hash_build
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        query: Query,
+        params: Optional[dict[str, Any]] = None,
+        meter: Optional[WorkMeter] = None,
+        feedback: Optional[CardinalityFeedback] = None,
+    ) -> tuple[list[tuple], PopReport]:
+        """Execute ``query`` and return (rows, report).
+
+        ``feedback`` may be pre-seeded (cross-query learning, §7); the
+        driver mutates it with everything observed during this statement.
+        """
+        config = self.config
+        cost_model = self.optimizer.cost_model
+        meter = meter if meter is not None else WorkMeter()
+        feedback = feedback if feedback is not None else CardinalityFeedback()
+        reopt_limit = config.reopt_limit_for(query)
+        compensation: Counter = Counter()
+        delivered: list[tuple] = []
+        attempts: list[AttemptReport] = []
+        self._apply_reuse_policy()
+        started = time.perf_counter()
+        attempt = 0
+        while True:
+            units_before_opt = meter.snapshot()
+            opt = self.optimizer.optimize(
+                query, feedback if config.use_feedback else None
+            )
+            meter.charge(cost_model.reoptimization_cost(opt.plans_enumerated))
+            opt_units = meter.snapshot() - units_before_opt
+
+            can_reopt = config.enabled and attempt < reopt_limit
+            if can_reopt:
+                placement = place_checkpoints(
+                    opt.plan,
+                    config,
+                    cost_model,
+                    is_spj=not (query.has_aggregates or query.distinct),
+                    lc_above_hash_build=self.lc_above_hash_build,
+                )
+            else:
+                placement = place_checkpoints(
+                    opt.plan, PopConfig(enabled=False), cost_model
+                )
+            plan = placement.plan
+            if compensation:
+                plan = self._wrap_compensation(plan)
+
+            budget = None
+            if config.work_budget is not None and can_reopt:
+                # Escalate per attempt so a statement cannot livelock on
+                # budget triggers: each round gets a larger deadline.
+                budget = config.work_budget * (attempt + 1)
+            ctx = ExecutionContext(
+                self.catalog,
+                params=params,
+                cost_params=self.optimizer.cost_model.params,
+                meter=meter,
+                dry_run_checks=config.dry_run,
+                force_trigger_op_ids=(
+                    set(config.force_trigger_op_ids) if attempt == 0 else set()
+                ),
+                work_budget=budget,
+            )
+            ctx.compensation = compensation
+            sink: list[tuple] = []
+            units_before_exec = meter.snapshot()
+            report = AttemptReport(
+                plan=plan,
+                plan_text=explain_plan(plan),
+                join_order=join_order(plan),
+                checkpoints_placed=placement.count,
+                optimization_units=opt_units,
+                execution_units=0.0,
+                reused_mvs=[op.mv_name for op in find_ops(plan, MVScan)],
+            )
+            try:
+                run_plan(plan, ctx, sink)
+            except ReoptimizationSignal as signal:
+                report.execution_units = meter.snapshot() - units_before_exec
+                report.checkpoint_events = ctx.checkpoint_events
+                report.actual_cards = _collect_actuals(ctx)
+                report.signal_op_id = signal.check_op.op_id
+                report.signal_flavor = getattr(signal.check_op, "flavor", "?")
+                report.signal_observed = float(signal.observed)
+                report.signal_complete = signal.complete
+                report.signal_reason = signal.reason
+                report.rows_emitted = ctx.rows_returned
+                attempts.append(report)
+                if ctx.rows_returned:
+                    # Only compensating flavors may fire after rows went out.
+                    if report.signal_flavor != "ECDC":
+                        raise ExecutionError(
+                            f"non-compensating checkpoint {report.signal_flavor} "
+                            "fired after rows were returned"
+                        )
+                    for row in sink:
+                        compensation[row] += 1
+                    delivered.extend(sink)
+                harvest_execution_state(ctx, signal, feedback, self.catalog, config)
+                attempt += 1
+                continue
+            # Success.
+            report.execution_units = meter.snapshot() - units_before_exec
+            report.checkpoint_events = ctx.checkpoint_events
+            report.actual_cards = _collect_actuals(ctx)
+            report.rows_emitted = ctx.rows_returned
+            attempts.append(report)
+            delivered.extend(sink)
+            # Record the completed run's exact cardinalities (no MV
+            # promotion) — this is what cross-query learning absorbs (§7).
+            if config.use_feedback:
+                harvest_execution_state(
+                    ctx, None, feedback, self.catalog, _FEEDBACK_ONLY
+                )
+            break
+
+        self.catalog.clear_temp_mvs()
+        wall = time.perf_counter() - started
+        return delivered, PopReport(
+            attempts=attempts,
+            total_units=meter.snapshot(),
+            wall_seconds=wall,
+            pop_enabled=config.enabled,
+        )
+
+    # -------------------------------------------------------------- internals
+
+    def _apply_reuse_policy(self) -> None:
+        options = self.optimizer.options
+        options.consider_mvs = self.config.reuse_policy != "never"
+        options.mv_cost_zero = self.config.reuse_policy == "always"
+
+    @staticmethod
+    def _wrap_compensation(plan: PlanOp) -> PlanOp:
+        """Insert the ECDC anti-join between RETURN and the rest of the plan."""
+        if not isinstance(plan, Return):
+            raise ExecutionError("plan root is not RETURN")
+        plan.children[0] = AntiJoin(plan.children[0], compensation_key="ecdc")
+        from repro.plan.physical import number_plan
+
+        number_plan(plan)
+        return plan

@@ -1,0 +1,77 @@
+"""Cardinality feedback harvested from partial executions.
+
+When a CHECK fires (or an operator completes), POP records what the runtime
+actually observed, keyed by the *edge signature* — the set of base-table
+aliases joined plus the set of predicate ids applied (paper §2.2: "an edge
+is defined by the set of rows flowing through it").  The re-optimization step
+consults this store before falling back to the statistical model.
+
+Two kinds of observations exist, mirroring §3.4:
+
+* **exact** — the producing operator reached end-of-stream, so the count is
+  the true cardinality (LC/LCEM checkpoints, completed materializations).
+* **lower bound** — an eager check fired before its input was exhausted
+  (ECB/ECWC/ECDC); we only know the cardinality is *at least* the count.
+  The estimator then uses ``max(model_estimate, bound)``, which the paper
+  notes is enough to force a different plan though not necessarily the
+  optimal one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Edge signature: (frozenset of aliases, frozenset of predicate ids).
+EdgeSignature = tuple
+
+
+@dataclass
+class FeedbackEntry:
+    """One observed cardinality."""
+
+    cardinality: float
+    exact: bool
+
+    def refine(self, other: "FeedbackEntry") -> "FeedbackEntry":
+        """Combine with a newer observation for the same edge."""
+        if other.exact:
+            return other
+        if self.exact:
+            return self
+        return FeedbackEntry(max(self.cardinality, other.cardinality), exact=False)
+
+
+class CardinalityFeedback:
+    """The feedback store consulted by the cardinality estimator."""
+
+    def __init__(self) -> None:
+        self._entries: dict[EdgeSignature, FeedbackEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, signature: EdgeSignature, cardinality: float, exact: bool) -> None:
+        entry = FeedbackEntry(float(cardinality), exact)
+        existing = self._entries.get(signature)
+        self._entries[signature] = existing.refine(entry) if existing else entry
+
+    def lookup(self, signature: EdgeSignature) -> Optional[FeedbackEntry]:
+        return self._entries.get(signature)
+
+    def adjust(self, signature: EdgeSignature, model_estimate: float) -> float:
+        """The estimate to use for an edge: exact feedback wins outright,
+        a lower bound clamps the model estimate from below."""
+        entry = self._entries.get(signature)
+        if entry is None:
+            return model_estimate
+        if entry.exact:
+            return entry.cardinality
+        return max(model_estimate, entry.cardinality)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def snapshot(self) -> dict:
+        """A copy for reports/tests."""
+        return dict(self._entries)

@@ -1,0 +1,70 @@
+"""Checkpoint flavors and their risk/opportunity metadata (paper Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The five flavors of CHECK from paper §3.
+LC = "LC"
+LCEM = "LCEM"
+ECB = "ECB"
+ECWC = "ECWC"
+ECDC = "ECDC"
+
+ALL_FLAVORS = (LC, LCEM, ECB, ECWC, ECDC)
+
+#: The paper's default: conservative flavors only (§4).
+DEFAULT_FLAVORS = frozenset({LC, LCEM})
+
+#: Flavors that are only safe in non-pipelined positions (no compensation).
+NON_PIPELINED_FLAVORS = frozenset({LC, LCEM, ECWC})
+
+
+@dataclass(frozen=True)
+class FlavorInfo:
+    """One row of the paper's Table 1."""
+
+    name: str
+    placement: str
+    risk: str
+    opportunity: str
+    pipelined_safe: bool  #: usable when rows may already have been returned
+
+
+TABLE1: dict[str, FlavorInfo] = {
+    LC: FlavorInfo(
+        LC,
+        placement="CHECK above materialization points",
+        risk="Very low -- only context switching",
+        opportunity="Low, only at materialization points",
+        pipelined_safe=False,
+    ),
+    LCEM: FlavorInfo(
+        LCEM,
+        placement="CHECK-materialization pairs on outer of NLJN",
+        risk="Context switching + materialization overhead",
+        opportunity="Materialization points and NLJN outers",
+        pipelined_safe=False,
+    ),
+    ECB: FlavorInfo(
+        ECB,
+        placement="BUFCHECK on outer of NLJN",
+        risk="High -- exact cardinality of subplan below ECB not available",
+        opportunity="Can reoptimize anytime during materialization",
+        pipelined_safe=True,
+    ),
+    ECWC: FlavorInfo(
+        ECWC,
+        placement="CHECK below materialization points",
+        risk="High -- may throw away arbitrary amount of work during reoptimization",
+        opportunity="Anywhere below a materialization point",
+        pipelined_safe=False,
+    ),
+    ECDC: FlavorInfo(
+        ECDC,
+        placement="CHECK and INSERT before reoptimization; anti-join afterwards",
+        risk="High -- may throw away arbitrary amount of work during reoptimization",
+        opportunity="Anywhere in the plan of an SPJ-query",
+        pipelined_safe=True,
+    ),
+}

@@ -1,0 +1,90 @@
+"""Harvesting partial-execution state after a CHECK fires (paper §2.1/§2.3).
+
+Two things are collected from the interrupted operator tree:
+
+1. **Cardinality feedback** — exact counts for every operator that reached
+   end-of-stream (or completed a materialization build), and lower bounds
+   for operators interrupted mid-stream, keyed by edge signature.
+2. **Temp MVs** — every completed SORT/TEMP materialization is promoted to a
+   temporary materialized view with its exact cardinality as its catalog
+   statistic, so re-optimization can *choose* to reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import PopConfig
+from repro.core.feedback import CardinalityFeedback
+from repro.executor.base import ExecutionContext, Operator, ReoptimizationSignal
+from repro.executor.scans import IndexScanExec
+from repro.plan.physical import (
+    AntiJoin,
+    Distinct,
+    GroupBy,
+    PlanOp,
+    Project,
+    Return,
+    Sort,
+)
+from repro.storage.catalog import Catalog
+
+#: Operators whose output cardinality does not equal their edge-signature
+#: cardinality (aggregation collapses rows; Return may be LIMIT-cut; ...).
+_EXCLUDED_FROM_FEEDBACK = (GroupBy, Distinct, Project, Return, AntiJoin)
+
+
+def _feedback_eligible(op: Operator) -> bool:
+    if isinstance(op.plan, _EXCLUDED_FROM_FEEDBACK):
+        return False
+    if isinstance(op, IndexScanExec) and op.plan.correlation is not None:
+        # A correlated inner's total match count is not the cardinality of
+        # any relational edge.
+        return False
+    return True
+
+
+def harvest_execution_state(
+    ctx: ExecutionContext,
+    signal: Optional[ReoptimizationSignal],
+    feedback: CardinalityFeedback,
+    catalog: Catalog,
+    config: PopConfig,
+) -> list[str]:
+    """Record feedback and promote intermediates; returns new MV names."""
+    registered: list[str] = []
+    existing = {
+        (mv.tables, mv.predicate_ids): mv.cardinality for mv in catalog.temp_mvs()
+    }
+    for op in ctx.operators:
+        if not _feedback_eligible(op):
+            continue
+        signature = op.plan.properties.signature
+        materialized = op.materialized_rows
+        if materialized is not None:
+            feedback.record(signature, len(materialized), exact=True)
+            if config.reuse_policy != "never":
+                key = (op.plan.properties.tables, op.plan.properties.predicates)
+                if existing.get(key, -1) < len(materialized):
+                    order = op.plan.keys if isinstance(op.plan, Sort) else ()
+                    mv = catalog.register_temp_mv(
+                        tables=op.plan.properties.tables,
+                        predicate_ids=op.plan.properties.predicates,
+                        columns=tuple(op.plan.layout.columns),
+                        rows=materialized,
+                        order=tuple(order),
+                    )
+                    existing[key] = mv.cardinality
+                    registered.append(mv.name)
+        elif op.eof_seen:
+            feedback.record(signature, op.rows_out, exact=True)
+        elif op.rows_out > 0:
+            feedback.record(signature, op.rows_out, exact=False)
+
+    if signal is not None:
+        feedback.record(
+            signal.check_op.properties.signature,
+            signal.observed,
+            exact=signal.complete,
+        )
+    return registered

@@ -1,0 +1,65 @@
+"""Cross-query cardinality learning (paper §7, "Learning for the Future").
+
+The paper notes POP only helps the statement currently executing and
+proposes combining it with LEO-style learning [SLM+01]: cardinalities
+observed at runtime should also correct *future* statements.  This module
+implements that extension: a :class:`LearnedCardinalities` store owned by
+the :class:`~repro.core.database.Database` accumulates exact observations
+across statements, and the POP driver seeds each statement's feedback from
+it.
+
+Safety rule: only edges whose predicates are fully literal are learned.  A
+parameter marker's ``pred_id`` is bind-value-independent, so persisting its
+observed cardinality would leak one bind's cardinality into executions with
+different bind values.
+"""
+
+from __future__ import annotations
+
+from repro.core.feedback import CardinalityFeedback, EdgeSignature
+
+
+def _signature_has_marker(signature: EdgeSignature) -> bool:
+    """True when any predicate id in the edge signature contains a marker."""
+    _, predicate_ids = signature
+    return any("?" in pred_id for pred_id in predicate_ids)
+
+
+class LearnedCardinalities:
+    """A persistent, marker-safe cardinality store shared across statements."""
+
+    def __init__(self) -> None:
+        self._store = CardinalityFeedback()
+        self.statements_learned_from = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def seed(self) -> CardinalityFeedback:
+        """A fresh per-statement feedback store pre-loaded with learned facts."""
+        feedback = CardinalityFeedback()
+        for signature, entry in self._store.snapshot().items():
+            feedback.record(signature, entry.cardinality, entry.exact)
+        return feedback
+
+    def absorb(self, feedback: CardinalityFeedback) -> int:
+        """Learn the exact, marker-free observations of one statement.
+
+        Returns how many edges were learned.
+        """
+        learned = 0
+        for signature, entry in feedback.snapshot().items():
+            if not entry.exact:
+                continue  # lower bounds are bind-specific runtime facts
+            if _signature_has_marker(signature):
+                continue
+            self._store.record(signature, entry.cardinality, exact=True)
+            learned += 1
+        if learned:
+            self.statements_learned_from += 1
+        return learned
+
+    def forget(self) -> None:
+        """Drop everything (e.g. after a bulk load invalidates old counts)."""
+        self._store.clear()
+        self.statements_learned_from = 0

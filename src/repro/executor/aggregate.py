@@ -1,0 +1,146 @@
+"""Hash aggregation (GROUP BY) and DISTINCT."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.executor.base import ExecutionContext, Operator
+from repro.plan.physical import Distinct, GroupBy
+
+
+class _AggState:
+    """Accumulator for one group's aggregates."""
+
+    __slots__ = ("counts", "sums", "mins", "maxs")
+
+    def __init__(self, n: int):
+        self.counts = [0] * n
+        self.sums: list[Any] = [0] * n
+        self.mins: list[Any] = [None] * n
+        self.maxs: list[Any] = [None] * n
+
+    def update(self, i: int, value: Any) -> None:
+        if value is None:
+            return
+        self.counts[i] += 1
+        self.sums[i] += value if not isinstance(value, str) else 0
+        if self.mins[i] is None or value < self.mins[i]:
+            self.mins[i] = value
+        if self.maxs[i] is None or value > self.maxs[i]:
+            self.maxs[i] = value
+
+    def result(self, i: int, func: str) -> Any:
+        if func == "count":
+            return self.counts[i]
+        if self.counts[i] == 0:
+            return None
+        if func == "sum":
+            return self.sums[i]
+        if func == "avg":
+            return self.sums[i] / self.counts[i]
+        if func == "min":
+            return self.mins[i]
+        if func == "max":
+            return self.maxs[i]
+        raise ValueError(f"unknown aggregate {func!r}")
+
+
+class GroupByExec(Operator):
+    """Blocking hash aggregation.
+
+    With no group keys, produces exactly one row (scalar aggregation), even
+    over empty input — SQL semantics.
+    """
+
+    def __init__(self, plan: GroupBy, ctx: ExecutionContext, child: Operator):
+        super().__init__(plan, ctx)
+        self.child = child
+        self._results: Optional[list[tuple]] = None
+        self._pos = 0
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        plan = self.plan
+        p = self.ctx.cost_params
+        child_layout = plan.children[0].layout
+        key_slots = [child_layout.slot(k) for k in plan.group_keys]
+        agg_slots = [
+            None if a.argument is None else child_layout.slot(a.argument)
+            for a in plan.aggregates
+        ]
+        star_count = [0]  # COUNT(*) per group handled separately
+        groups: dict[tuple, tuple[_AggState, int]] = {}
+        counts_star: dict[tuple, int] = {}
+        n_aggs = len(plan.aggregates)
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            self.ctx.meter.charge(p.cpu_agg)
+            key = tuple(row[s] for s in key_slots)
+            state_entry = groups.get(key)
+            if state_entry is None:
+                state = _AggState(n_aggs)
+                groups[key] = (state, 0)
+            else:
+                state = state_entry[0]
+            counts_star[key] = counts_star.get(key, 0) + 1
+            for i, slot in enumerate(agg_slots):
+                if slot is None:
+                    continue
+                state.update(i, row[slot])
+        if not groups and not plan.group_keys:
+            groups[()] = (_AggState(n_aggs), 0)
+            counts_star[()] = 0
+        results = []
+        for key, (state, _) in groups.items():
+            values = []
+            for i, agg in enumerate(plan.aggregates):
+                if agg.func == "count" and agg.argument is None:
+                    values.append(counts_star[key])
+                else:
+                    values.append(state.result(i, agg.func))
+            self.ctx.meter.charge(p.cpu_emit)
+            results.append(key + tuple(values))
+        self._results = results
+        self._pos = 0
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        assert self._results is not None
+        if self._pos < len(self._results):
+            row = self._results[self._pos]
+            self._pos += 1
+            return self.emit(row)
+        self.finish()
+        return None
+
+
+class DistinctExec(Operator):
+    """Streaming hash-based duplicate elimination."""
+
+    def __init__(self, plan: Distinct, ctx: ExecutionContext, child: Operator):
+        super().__init__(plan, ctx)
+        self.child = child
+        self._seen: set = set()
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        self._seen = set()
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        p = self.ctx.cost_params
+        while True:
+            row = self.child.next()
+            if row is None:
+                self.finish()
+                return None
+            self.ctx.meter.charge(p.cpu_hash_probe)
+            if row in self._seen:
+                continue
+            self._seen.add(row)
+            self.ctx.meter.charge(p.cpu_emit)
+            return self.emit(row)

@@ -1,0 +1,151 @@
+"""Executor infrastructure: the open/next/close operator protocol, the
+execution context, and the re-optimization signal.
+
+Rows are plain tuples; ``None`` is the end-of-stream sentinel.  Every
+operator counts the rows it emits and remembers whether it reached
+end-of-stream — those counters are the raw material POP harvests as
+cardinality feedback after a CHECK fires (paper §2.1: "actual cardinalities
+measured during the initial run help the re-optimization step avoid the same
+mistake").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.common.errors import ExecutionError
+from repro.optimizer.costmodel import CostModel, CostParams, DEFAULT_COST_PARAMS
+from repro.executor.meter import WorkMeter
+from repro.plan.physical import PlanOp
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class CheckpointEvent:
+    """Log record of one checkpoint evaluation (drives Figure 14)."""
+
+    op_id: int
+    flavor: str
+    observed: float
+    low: float
+    high: float
+    complete: bool  #: whether the child stream had reached EOF
+    units_at_event: float  #: work-meter reading when the check evaluated
+    triggered: bool  #: would this evaluation trigger re-optimization?
+
+
+class ReoptimizationSignal(Exception):
+    """Raised by a CHECK whose range is violated; caught by the POP driver.
+
+    ``observed`` is the row count at the moment of violation; ``complete``
+    tells the driver whether it is an exact cardinality (child stream
+    exhausted — LC flavors) or only a lower bound (eager flavors).
+    """
+
+    def __init__(
+        self,
+        check_op: PlanOp,
+        observed: float,
+        complete: bool,
+        reason: str = "cardinality",
+    ):
+        super().__init__(
+            f"check {check_op.op_id} violated ({reason}): observed={observed} "
+            f"range={getattr(check_op, 'check_range', None)} complete={complete}"
+        )
+        self.check_op = check_op
+        self.observed = observed
+        self.complete = complete
+        #: "cardinality" for range violations, "budget" for work-budget
+        #: overruns (the §7 resource-check extension).
+        self.reason = reason
+
+
+class ExecutionContext:
+    """Shared state of one execution attempt."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        params: Optional[dict[str, Any]] = None,
+        cost_params: CostParams = DEFAULT_COST_PARAMS,
+        meter: Optional[WorkMeter] = None,
+        dry_run_checks: bool = False,
+        force_trigger_op_ids: Optional[set[int]] = None,
+        disabled_check_op_ids: Optional[set[int]] = None,
+        work_budget: Optional[float] = None,
+    ):
+        self.catalog = catalog
+        self.params = params if params is not None else {}
+        self.cost_params = cost_params
+        self.cost_model = CostModel(cost_params)
+        self.meter = meter if meter is not None else WorkMeter()
+        #: When True, CHECK violations are logged, not raised (Fig. 14 mode).
+        self.dry_run_checks = dry_run_checks
+        #: CHECKs whose op_id is listed fire even inside their range
+        #: (the "dummy re-optimization" of Fig. 12).
+        self.force_trigger_op_ids = force_trigger_op_ids or set()
+        #: CHECKs to skip entirely (risk experiments).
+        self.disabled_check_op_ids = disabled_check_op_ids or set()
+        #: When set, any CHECK also triggers once cumulative work exceeds
+        #: this many units (§7: re-optimizing on resource overruns).
+        self.work_budget = work_budget
+        #: All operator instances, registered at construction time, so the
+        #: POP driver can harvest counters and materializations afterwards.
+        self.operators: list[Operator] = []
+        self.checkpoint_events: list[CheckpointEvent] = []
+        self.rows_returned = 0
+
+    def register(self, op: "Operator") -> None:
+        self.operators.append(op)
+
+    def log_checkpoint(self, event: CheckpointEvent) -> None:
+        self.checkpoint_events.append(event)
+
+
+class Operator:
+    """Base class for executor operators (Volcano-style iterators)."""
+
+    def __init__(self, plan: PlanOp, ctx: ExecutionContext):
+        self.plan = plan
+        self.ctx = ctx
+        self.rows_out = 0
+        self.eof_seen = False
+        self._open = False
+        ctx.register(self)
+
+    # -- protocol ---------------------------------------------------------
+
+    def open(self) -> None:
+        """Prepare for iteration (children recursively)."""
+        self._open = True
+
+    def next(self) -> Optional[tuple]:
+        """The next output row, or ``None`` at end-of-stream."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self._open = False
+
+    # -- shared helpers ----------------------------------------------------
+
+    def emit(self, row: tuple) -> tuple:
+        """Count and return one output row."""
+        self.rows_out += 1
+        return row
+
+    def finish(self) -> None:
+        """Mark end-of-stream (rows_out is now the exact edge cardinality)."""
+        self.eof_seen = True
+
+    def require_open(self) -> None:
+        if not self._open:
+            raise ExecutionError(f"{type(self).__name__}.next() before open()")
+
+    # -- harvesting hooks (overridden by materializing operators) ----------
+
+    @property
+    def materialized_rows(self) -> Optional[list[tuple]]:
+        """Fully built intermediate result, if this operator holds one."""
+        return None

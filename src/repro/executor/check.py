@@ -1,0 +1,203 @@
+"""CHECK and BUFCHECK: the paper's checkpoint operators (Fig. 10).
+
+CHECK has no relational semantics.  It counts rows from its child and raises
+:class:`ReoptimizationSignal` when the count leaves the check range:
+
+* ``count > high`` — raised immediately (the cardinality is already proven
+  too large; ``observed`` is a lower bound unless the child also hit EOF);
+* ``count < low`` at end-of-stream — raised with an exact cardinality.
+
+Above a materialization point, checking collapses to a single evaluation
+after the materialization completes (the paper's optimization), because the
+child's full count is already known when ``open`` returns.
+
+BUFCHECK implements ECB's valve: rows are buffered until the check's fate is
+decided, so no row escapes to the parent before a potential
+re-optimization — that is what makes ECB safe in pipelined plans.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.executor.base import (
+    CheckpointEvent,
+    ExecutionContext,
+    Operator,
+    ReoptimizationSignal,
+)
+from repro.plan.physical import BufCheck, Check
+
+
+class CheckExec(Operator):
+    """The plain CHECK operator (LC / LCEM / ECWC / ECDC flavors)."""
+
+    def __init__(self, plan: Check, ctx: ExecutionContext, child: Operator):
+        super().__init__(plan, ctx)
+        self.child = child
+        self.count = 0
+        self._evaluated_once = False
+        self._disabled = False
+        self._forced = False
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        self.count = 0
+        self._evaluated_once = False
+        op_id = self.plan.op_id
+        self._disabled = op_id in self.ctx.disabled_check_op_ids
+        self._forced = op_id in self.ctx.force_trigger_op_ids
+        # Materialization-point optimization: the child already knows its
+        # exact cardinality — evaluate the check once, right now.
+        mat = self.child.materialized_rows
+        if mat is not None and not self._disabled:
+            self.count = len(mat)
+            self._evaluate(complete=True)
+            self._evaluated_once = True
+
+    def reset(self) -> None:
+        """Restart iteration when checking a rescanned TEMP (NLJN inner).
+
+        The check itself already evaluated once when the materialization
+        completed (``open``); rescans are pass-through.
+        """
+        self.child.reset()  # type: ignore[attr-defined]
+        self._evaluated_once = True
+
+    def _evaluate(self, complete: bool) -> None:
+        rng = self.plan.check_range
+        triggered = self.count > rng.high or (complete and self.count < rng.low)
+        if self._forced:
+            triggered = True
+        self.ctx.log_checkpoint(
+            CheckpointEvent(
+                op_id=self.plan.op_id or -1,
+                flavor=self.plan.flavor,
+                observed=self.count,
+                low=rng.low,
+                high=rng.high,
+                complete=complete,
+                units_at_event=self.ctx.meter.snapshot(),
+                triggered=triggered,
+            )
+        )
+        if triggered and not self.ctx.dry_run_checks:
+            raise ReoptimizationSignal(self.plan, self.count, complete)
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        row = self.child.next()
+        self.ctx.meter.charge(self.ctx.cost_params.cpu_check)
+        if row is None:
+            self.finish()
+            if not self._disabled and not self._evaluated_once:
+                self._evaluate(complete=True)
+                self._evaluated_once = True
+            return None
+        self.count += 1
+        if (
+            not self._disabled
+            and not self._evaluated_once
+            and self.count > self.plan.check_range.high
+        ):
+            self._evaluate(complete=False)
+            self._evaluated_once = True  # dry-run mode: log only once
+        budget = self.ctx.work_budget
+        if (
+            budget is not None
+            and not self._disabled
+            and not self.ctx.dry_run_checks
+            and self.ctx.meter.units > budget
+            # Without compensation, a trigger is only safe before any row
+            # has been pipelined to the application.
+            and (self.ctx.rows_returned == 0 or self.plan.flavor == "ECDC")
+        ):
+            # §7 extension: the statement blew its work budget — whatever
+            # knowledge and intermediates exist, try a better plan now.
+            raise ReoptimizationSignal(
+                self.plan, self.count, complete=False, reason="budget"
+            )
+        return self.emit(row)
+
+
+class BufCheckExec(Operator):
+    """The buffered CHECK of ECB (paper Fig. 8 / Fig. 10 right column)."""
+
+    def __init__(self, plan: BufCheck, ctx: ExecutionContext, child: Operator):
+        super().__init__(plan, ctx)
+        self.child = child
+        self._buffer: list[tuple] = []
+        self._pos = 0
+        self._decided = False
+        self._child_eof = False
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        p = self.ctx.cost_params
+        rng = self.plan.check_range
+        disabled = self.plan.op_id in self.ctx.disabled_check_op_ids
+        forced = self.plan.op_id in self.ctx.force_trigger_op_ids
+        self._buffer = []
+        self._pos = 0
+        self._child_eof = False
+        # Fill the valve until the check's outcome is certain.
+        count = 0
+        triggered = False
+        complete = False
+        while True:
+            if count > rng.high:
+                triggered = True
+                break
+            if count >= rng.low and rng.high == float("inf") and count >= self.plan.buffer_size:
+                break  # low bound satisfied, no upper bound to violate
+            if count >= self.plan.buffer_size and count <= rng.high:
+                # Buffer exhausted without a verdict; optimistically succeed
+                # and continue pipelined (the ECB "morphs into" streaming).
+                break
+            row = self.child.next()
+            self.ctx.meter.charge(p.cpu_check + p.cpu_temp_insert)
+            if row is None:
+                self._child_eof = True
+                complete = True
+                triggered = count < rng.low
+                break
+            self._buffer.append(row)
+            count += 1
+        if forced and not disabled:
+            triggered = True
+        self.ctx.log_checkpoint(
+            CheckpointEvent(
+                op_id=self.plan.op_id or -1,
+                flavor="ECB",
+                observed=count,
+                low=rng.low,
+                high=rng.high,
+                complete=complete,
+                units_at_event=self.ctx.meter.snapshot(),
+                triggered=triggered and not disabled,
+            )
+        )
+        if triggered and not disabled and not self.ctx.dry_run_checks:
+            raise ReoptimizationSignal(self.plan, count, complete)
+        self._decided = True
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        p = self.ctx.cost_params
+        if self._pos < len(self._buffer):
+            row = self._buffer[self._pos]
+            self._pos += 1
+            self.ctx.meter.charge(p.cpu_temp_scan)
+            return self.emit(row)
+        if self._child_eof:
+            self.finish()
+            return None
+        row = self.child.next()
+        self.ctx.meter.charge(p.cpu_check)
+        if row is None:
+            self._child_eof = True
+            self.finish()
+            return None
+        return self.emit(row)

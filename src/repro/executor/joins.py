@@ -1,0 +1,253 @@
+"""Join operators: nested-loop (index and rescan), hash, and sort-merge."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import ExecutionError
+from repro.expr.evaluate import compile_conjunction
+from repro.executor.base import ExecutionContext, Operator
+from repro.executor.scans import IndexScanExec
+from repro.plan.physical import HashJoin, MergeJoin, NLJoin
+
+
+class NLJoinExec(Operator):
+    """Nested-loop join.
+
+    ``index`` method: the inner is a correlated :class:`IndexScanExec`
+    re-bound with the outer's join-key value for every outer row.
+    ``rescan`` method: the inner is a :class:`TempExec` reset and re-read per
+    outer row.
+    """
+
+    def __init__(self, plan: NLJoin, ctx: ExecutionContext, outer: Operator, inner: Operator):
+        super().__init__(plan, ctx)
+        self.outer = outer
+        self.inner = inner
+        self._outer_row: Optional[tuple] = None
+        self._residual = None
+        self._outer_key_slot: Optional[int] = None
+
+    def open(self) -> None:
+        super().open()
+        self.outer.open()
+        self.inner.open()
+        plan = self.plan
+        if plan.method == "index":
+            if not isinstance(self.inner, IndexScanExec):
+                raise ExecutionError("index NLJN requires a correlated index scan inner")
+            corr = self.inner.plan.correlation
+            if corr is None:
+                raise ExecutionError("index NLJN inner has no correlation column")
+            self._outer_key_slot = self.outer.plan.layout.slot(corr)
+            # All predicates beyond the indexed one are residuals on the
+            # concatenated row.
+            residual = plan.join_predicates[1:]
+        else:
+            residual = plan.join_predicates
+        self._residual = compile_conjunction(residual, plan.layout, self.ctx.params)
+        self._outer_row = None
+
+    def _advance_outer(self) -> bool:
+        row = self.outer.next()
+        if row is None:
+            self._outer_row = None
+            return False
+        self._outer_row = row
+        if self.plan.method == "index":
+            assert self._outer_key_slot is not None
+            self.inner.rebind(row[self._outer_key_slot])  # type: ignore[attr-defined]
+        else:
+            self.inner.reset()  # type: ignore[attr-defined]
+        return True
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        assert self._residual is not None
+        p = self.ctx.cost_params
+        while True:
+            if self._outer_row is None:
+                if not self._advance_outer():
+                    self.finish()
+                    return None
+            inner_row = self.inner.next()
+            if inner_row is None:
+                self._outer_row = None
+                continue
+            joined = self._outer_row + inner_row
+            if self._residual(joined):
+                self.ctx.meter.charge(p.cpu_emit)
+                return self.emit(joined)
+
+
+class HashJoinExec(Operator):
+    """Hash join: builds on the inner child, probes with the outer."""
+
+    def __init__(self, plan: HashJoin, ctx: ExecutionContext, outer: Operator, inner: Operator):
+        super().__init__(plan, ctx)
+        self.outer = outer
+        self.inner = inner
+        self._table: dict = {}
+        self._build_rows = 0
+        self._build_complete = False
+        self._matches: list[tuple] = []
+        self._match_pos = 0
+        self._outer_row: Optional[tuple] = None
+        self._outer_slots: list[int] = []
+        self._inner_slots: list[int] = []
+
+    def _key_slots(self) -> None:
+        outer_tables = self.plan.outer.properties.tables
+        self._outer_slots = []
+        self._inner_slots = []
+        for pred in self.plan.join_predicates:
+            if pred.left.table in outer_tables:
+                outer_col, inner_col = pred.left, pred.right
+            else:
+                outer_col, inner_col = pred.right, pred.left
+            self._outer_slots.append(self.plan.outer.layout.slot(outer_col))
+            self._inner_slots.append(self.plan.inner.layout.slot(inner_col))
+
+    def open(self) -> None:
+        super().open()
+        self._key_slots()
+        p = self.ctx.cost_params
+        # Build phase: drain the inner completely (a materialization of
+        # sorts, though not one the prototype reuses — matching the paper's
+        # "current implementation does not reuse hash join builds").
+        self.inner.open()
+        self._table = {}
+        while True:
+            row = self.inner.next()
+            if row is None:
+                break
+            self.ctx.meter.charge(p.cpu_hash_build)
+            key = tuple(row[s] for s in self._inner_slots)
+            if any(k is None for k in key):
+                continue
+            self._table.setdefault(key, []).append(row)
+            self._build_rows += 1
+        self._build_complete = True
+        self._charge_spill(self._build_rows)
+        self.outer.open()
+
+    def _charge_spill(self, build_rows: int) -> None:
+        """Charge the multi-stage partitioning I/O the cost model predicts."""
+        cm = self.ctx.cost_model
+        p = self.ctx.cost_params
+        build_pages = cm.pages_for(build_rows)
+        if build_pages > p.hash_mem_pages:
+            # Approximate the model's spill term with the build contribution
+            # now; the probe contribution is charged per probe row below.
+            self.ctx.meter.charge(2.0 * build_pages * p.io_page)
+            self._probe_spill_per_row = 2.0 * p.io_page / p.rows_per_page
+        else:
+            self._probe_spill_per_row = 0.0
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        p = self.ctx.cost_params
+        while True:
+            if self._match_pos < len(self._matches):
+                inner_row = self._matches[self._match_pos]
+                self._match_pos += 1
+                assert self._outer_row is not None
+                self.ctx.meter.charge(p.cpu_emit)
+                return self.emit(self._outer_row + inner_row)
+            row = self.outer.next()
+            if row is None:
+                self.finish()
+                return None
+            self.ctx.meter.charge(p.cpu_hash_probe + self._probe_spill_per_row)
+            key = tuple(row[s] for s in self._outer_slots)
+            if any(k is None for k in key):
+                continue
+            self._outer_row = row
+            self._matches = self._table.get(key, [])
+            self._match_pos = 0
+
+
+class MergeJoinExec(Operator):
+    """Sort-merge join over two key-ordered inputs.
+
+    Handles duplicate keys on both sides (cross product within key groups).
+    """
+
+    def __init__(self, plan: MergeJoin, ctx: ExecutionContext, outer: Operator, inner: Operator):
+        super().__init__(plan, ctx)
+        self.outer = outer
+        self.inner = inner
+        self._outer_slots: list[int] = []
+        self._inner_slots: list[int] = []
+        self._output: list[tuple] = []
+        self._pos = 0
+
+    def _key_slots(self) -> None:
+        outer_tables = self.plan.outer.properties.tables
+        self._outer_slots = []
+        self._inner_slots = []
+        for pred in self.plan.join_predicates:
+            if pred.left.table in outer_tables:
+                outer_col, inner_col = pred.left, pred.right
+            else:
+                outer_col, inner_col = pred.right, pred.left
+            self._outer_slots.append(self.plan.outer.layout.slot(outer_col))
+            self._inner_slots.append(self.plan.inner.layout.slot(inner_col))
+
+    @staticmethod
+    def _drain(child: Operator) -> list[tuple]:
+        rows = []
+        while True:
+            row = child.next()
+            if row is None:
+                return rows
+            rows.append(row)
+
+    def open(self) -> None:
+        super().open()
+        self._key_slots()
+        p = self.ctx.cost_params
+        self.outer.open()
+        self.inner.open()
+        left = self._drain(self.outer)
+        right = self._drain(self.inner)
+        self.ctx.meter.charge((len(left) + len(right)) * p.cpu_row)
+        # Merge the two sorted inputs group by group.
+        self._output = []
+        i = j = 0
+        lslots, rslots = self._outer_slots, self._inner_slots
+        while i < len(left) and j < len(right):
+            lkey = tuple(left[i][s] for s in lslots)
+            rkey = tuple(right[j][s] for s in rslots)
+            if any(k is None for k in lkey):
+                i += 1
+                continue
+            if any(k is None for k in rkey):
+                j += 1
+                continue
+            if lkey < rkey:
+                i += 1
+            elif lkey > rkey:
+                j += 1
+            else:
+                i_end = i
+                while i_end < len(left) and tuple(left[i_end][s] for s in lslots) == lkey:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right) and tuple(right[j_end][s] for s in rslots) == rkey:
+                    j_end += 1
+                for li in range(i, i_end):
+                    for rj in range(j, j_end):
+                        self._output.append(left[li] + right[rj])
+                i, j = i_end, j_end
+        self._pos = 0
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        if self._pos < len(self._output):
+            row = self._output[self._pos]
+            self._pos += 1
+            self.ctx.meter.charge(self.ctx.cost_params.cpu_emit)
+            return self.emit(row)
+        self.finish()
+        return None

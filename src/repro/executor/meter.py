@@ -1,0 +1,28 @@
+"""The deterministic work meter.
+
+Execution "time" in this reproduction is measured in the same cost units the
+optimizer models (see :mod:`repro.optimizer.costmodel`): every executor
+operator charges CPU-per-row and I/O-per-page work as it runs.  This keeps
+measured execution consistent with modeled cost, makes all benchmark figures
+deterministic, and replaces the paper's wall-clock measurements on Power3/4
+hardware (DESIGN.md substitution table).  Wall-clock time is still recorded
+by the driver for reference.
+"""
+
+from __future__ import annotations
+
+
+class WorkMeter:
+    """Accumulates simulated work units."""
+
+    def __init__(self) -> None:
+        self.units = 0.0
+
+    def charge(self, units: float) -> None:
+        self.units += units
+
+    def snapshot(self) -> float:
+        return self.units
+
+    def reset(self) -> None:
+        self.units = 0.0

@@ -1,0 +1,140 @@
+"""Projection, RETURN, and the ECDC anti-join compensation operator."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.executor.base import ExecutionContext, Operator
+from repro.plan.physical import AntiJoin, Project, Return
+
+
+class ProjectExec(Operator):
+    """Column projection/reordering."""
+
+    def __init__(self, plan: Project, ctx: ExecutionContext, child: Operator):
+        super().__init__(plan, ctx)
+        self.child = child
+        child_layout = plan.children[0].layout
+        self._slots = [child_layout.slot(c) for c in plan.columns]
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        row = self.child.next()
+        if row is None:
+            self.finish()
+            return None
+        self.ctx.meter.charge(self.ctx.cost_params.cpu_emit)
+        return self.emit(tuple(row[s] for s in self._slots))
+
+
+class HavingFilterExec(Operator):
+    """Evaluates HAVING conjuncts over aggregation output rows."""
+
+    _OPS = {
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def __init__(self, plan, ctx: ExecutionContext, child: Operator):
+        super().__init__(plan, ctx)
+        self.child = child
+        layout = plan.children[0].layout
+        self._checks = [
+            (layout.slot(p.column), self._OPS[p.op], p.value)
+            for p in plan.predicates
+        ]
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def _passes(self, row: tuple) -> bool:
+        for slot, cmp, value in self._checks:
+            cell = row[slot]
+            if cell is None or not cmp(cell, value):
+                return False
+        return True
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        p = self.ctx.cost_params
+        while True:
+            row = self.child.next()
+            if row is None:
+                self.finish()
+                return None
+            self.ctx.meter.charge(p.cpu_row)
+            if self._passes(row):
+                return self.emit(row)
+
+
+class ReturnExec(Operator):
+    """Root operator: streams rows to the application, honoring LIMIT.
+
+    Counts returned rows in the execution context; the POP driver uses that
+    count both to assert that non-compensating flavors never fire after rows
+    were pipelined out, and to maintain the ECDC compensation multiset.
+    """
+
+    def __init__(self, plan: Return, ctx: ExecutionContext, child: Operator):
+        super().__init__(plan, ctx)
+        self.child = child
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        if self.plan.limit is not None and self.rows_out >= self.plan.limit:
+            self.finish()
+            return None
+        row = self.child.next()
+        if row is None:
+            self.finish()
+            return None
+        self.ctx.rows_returned += 1
+        return self.emit(row)
+
+
+class AntiJoinExec(Operator):
+    """ECDC compensation: multiset-subtract previously returned rows.
+
+    The driver supplies the compensation multiset (a Counter of rows already
+    pipelined to the application during earlier execution attempts); each
+    matching row consumes one count instead of being emitted, so the final
+    result stream is an exact multiset difference (paper §3.3's anti-join on
+    the rid side table, value-based here — see DESIGN.md).
+    """
+
+    def __init__(self, plan: AntiJoin, ctx: ExecutionContext, child: Operator):
+        super().__init__(plan, ctx)
+        self.child = child
+        self.compensation: Counter = getattr(ctx, "compensation", None) or Counter()
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        p = self.ctx.cost_params
+        while True:
+            row = self.child.next()
+            if row is None:
+                self.finish()
+                return None
+            self.ctx.meter.charge(p.cpu_hash_probe)
+            if self.compensation.get(row, 0) > 0:
+                self.compensation[row] -= 1
+                continue
+            return self.emit(row)

@@ -1,0 +1,174 @@
+"""Scan operators: table scan, index scan (sarg or correlated), MV scan."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.common.errors import ExecutionError
+from repro.expr.evaluate import compile_conjunction
+from repro.expr.expressions import operand_value
+from repro.expr.predicates import Between, Comparison
+from repro.executor.base import ExecutionContext, Operator
+from repro.plan.physical import IndexScan, MVScan, TableScan
+from repro.storage.index import SortedIndex
+
+
+class TableScanExec(Operator):
+    """Sequential scan with fused filters.
+
+    Charges I/O per page and CPU per scanned row, amortized per row so the
+    work meter advances smoothly (needed for Figure 14's progress fractions).
+    """
+
+    def __init__(self, plan: TableScan, ctx: ExecutionContext):
+        super().__init__(plan, ctx)
+        self.table = ctx.catalog.table(plan.table)
+        self._iter: Optional[Iterator[tuple]] = None
+        self._filter = None
+        p = ctx.cost_params
+        rows = max(1, self.table.row_count)
+        self._charge_per_row = (
+            self.table.page_count * p.io_page / rows + p.cpu_row
+        )
+
+    def open(self) -> None:
+        super().open()
+        self._filter = compile_conjunction(
+            self.plan.filters, self.plan.layout, self.ctx.params
+        )
+        self._iter = iter(self.table.rows)
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        assert self._iter is not None and self._filter is not None
+        for row in self._iter:
+            self.ctx.meter.charge(self._charge_per_row)
+            if self._filter(row):
+                return self.emit(row)
+        self.finish()
+        return None
+
+
+class IndexScanExec(Operator):
+    """Index access, in two modes.
+
+    *Sarg mode* (``plan.correlation is None``): the sargable predicate drives
+    one index range/equality probe at open time.
+
+    *Correlated mode*: the operator is the inner of an index nested-loop
+    join; the NLJN calls :meth:`rebind` with each outer join-key value and
+    reads the matches.
+    """
+
+    def __init__(self, plan: IndexScan, ctx: ExecutionContext):
+        super().__init__(plan, ctx)
+        self.table = ctx.catalog.table(plan.table)
+        self.index = None
+        for ix in ctx.catalog.indexes_on(plan.table):
+            if ix.name == plan.index_name:
+                self.index = ix
+                break
+        if self.index is None:
+            raise ExecutionError(f"index {plan.index_name!r} not found")
+        self._rids: list[int] = []
+        self._pos = 0
+        self._filter = None
+        self._fetch_charge = ctx.cost_model.fetch_cost_per_row(
+            float(self.table.page_count)
+        )
+
+    def open(self) -> None:
+        super().open()
+        self._filter = compile_conjunction(
+            self.plan.filters, self.plan.layout, self.ctx.params
+        )
+        if self.plan.correlation is None:
+            self._rids = list(self._rids_for_sarg())
+            self._pos = 0
+            self.ctx.meter.charge(
+                self.ctx.cost_params.index_probe_io
+                * self.ctx.cost_params.random_io
+                * self.ctx.cost_params.io_page
+            )
+
+    def _rids_for_sarg(self) -> Iterator[int]:
+        sarg = self.plan.sarg
+        if sarg is None:
+            raise ExecutionError("sarg-mode index scan without a sarg")
+        params = self.ctx.params
+        if isinstance(sarg, Comparison):
+            value = operand_value(sarg.operand, params)
+            if sarg.op == "=":
+                yield from self.index.lookup(value)
+                return
+            if not isinstance(self.index, SortedIndex):
+                raise ExecutionError("range sarg over a non-sorted index")
+            if sarg.op == "<":
+                yield from self.index.range_scan(high=value, high_inclusive=False)
+            elif sarg.op == "<=":
+                yield from self.index.range_scan(high=value)
+            elif sarg.op == ">":
+                yield from self.index.range_scan(low=value, low_inclusive=False)
+            elif sarg.op == ">=":
+                yield from self.index.range_scan(low=value)
+            else:
+                raise ExecutionError(f"non-sargable comparison {sarg.op!r}")
+            return
+        if isinstance(sarg, Between):
+            if not isinstance(self.index, SortedIndex):
+                raise ExecutionError("BETWEEN sarg over a non-sorted index")
+            low = operand_value(sarg.low, params)
+            high = operand_value(sarg.high, params)
+            yield from self.index.range_scan(low=low, high=high)
+            return
+        raise ExecutionError(f"unsupported sarg {sarg!r}")
+
+    def rebind(self, key: Any) -> None:
+        """Correlated mode: position on the matches for one probe key."""
+        p = self.ctx.cost_params
+        self.ctx.meter.charge(p.index_probe_io * p.random_io * p.io_page)
+        self._rids = self.index.lookup(key)
+        self._pos = 0
+        self.eof_seen = False
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        assert self._filter is not None
+        while self._pos < len(self._rids):
+            rid = self._rids[self._pos]
+            self._pos += 1
+            self.ctx.meter.charge(self._fetch_charge)
+            row = self.table.fetch(rid)
+            if self._filter(row):
+                return self.emit(row)
+        if self.plan.correlation is None:
+            self.finish()
+        return None
+
+
+class MVScanExec(Operator):
+    """Scan of a temp materialized view, with residual filters."""
+
+    def __init__(self, plan: MVScan, ctx: ExecutionContext):
+        super().__init__(plan, ctx)
+        self.mv = ctx.catalog.temp_mv(plan.mv_name)
+        self._iter: Optional[Iterator[tuple]] = None
+        self._filter = None
+
+    def open(self) -> None:
+        super().open()
+        self._filter = compile_conjunction(
+            self.plan.filters, self.plan.layout, self.ctx.params
+        )
+        self._iter = iter(self.mv.rows)
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        assert self._iter is not None and self._filter is not None
+        p = self.ctx.cost_params
+        for row in self._iter:
+            self.ctx.meter.charge(p.cpu_temp_scan)
+            if self._filter(row):
+                return self.emit(row)
+        self.finish()
+        return None

@@ -1,0 +1,70 @@
+"""SORT: the canonical materialization point (paper §3.1)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.executor.base import ExecutionContext, Operator
+from repro.plan.physical import Sort
+
+
+def _sort_key(value):
+    """Sort wrapper placing NULLs first and keeping values comparable."""
+    return (value is None, value)
+
+
+class SortExec(Operator):
+    """Drains its child at open, sorts, then streams the sorted rows.
+
+    The fully built result is exposed through :attr:`materialized_rows`, so
+    POP can promote it to a temp MV when a checkpoint fires later in the
+    plan (paper §2.3).
+    """
+
+    def __init__(self, plan: Sort, ctx: ExecutionContext, child: Operator):
+        super().__init__(plan, ctx)
+        self.child = child
+        self._rows: Optional[list[tuple]] = None
+        self._pos = 0
+        self.build_complete = False
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        p = self.ctx.cost_params
+        rows: list[tuple] = []
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            rows.append(row)
+        slots = [self.plan.layout.slot(k) for k in self.plan.keys]
+        # Stable multi-key sort honoring per-key direction: sort by each key
+        # from least to most significant.
+        for slot, ascending in reversed(list(zip(slots, self.plan.ascending))):
+            rows.sort(key=lambda r, s=slot: _sort_key(r[s]), reverse=not ascending)
+        n = len(rows)
+        if n:
+            self.ctx.meter.charge(n * max(1.0, math.log2(n + 1)) * p.cpu_sort)
+            pages = self.ctx.cost_model.pages_for(n)
+            if pages > p.sort_mem_pages:
+                passes = math.ceil(math.log(pages / p.sort_mem_pages, 8)) + 1
+                self.ctx.meter.charge(2.0 * pages * p.io_page * passes)
+        self._rows = rows
+        self._pos = 0
+        self.build_complete = True
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        assert self._rows is not None
+        if self._pos < len(self._rows):
+            row = self._rows[self._pos]
+            self._pos += 1
+            return self.emit(row)
+        self.finish()
+        return None
+
+    @property
+    def materialized_rows(self) -> Optional[list[tuple]]:
+        return self._rows if self.build_complete else None

@@ -1,0 +1,61 @@
+"""TEMP: materialize the child into a temporary table (paper §3.1).
+
+TEMPs are POP's second kind of materialization point; LCEM inserts
+TEMP/CHECK pairs on nested-loop outers, and the rescan NLJN method uses a
+TEMP inner so repeated scans read the materialized rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.executor.base import ExecutionContext, Operator
+from repro.plan.physical import Temp
+
+
+class TempExec(Operator):
+    """Drains its child at open; streams (and can re-stream) the result."""
+
+    def __init__(self, plan: Temp, ctx: ExecutionContext, child: Operator):
+        super().__init__(plan, ctx)
+        self.child = child
+        self._rows: Optional[list[tuple]] = None
+        self._pos = 0
+        self.build_complete = False
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        p = self.ctx.cost_params
+        rows: list[tuple] = []
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            self.ctx.meter.charge(p.cpu_temp_insert)
+            rows.append(row)
+        pages = self.ctx.cost_model.pages_for(len(rows))
+        if pages > p.temp_mem_pages:
+            self.ctx.meter.charge(pages * p.io_page)
+        self._rows = rows
+        self._pos = 0
+        self.build_complete = True
+
+    def reset(self) -> None:
+        """Restart iteration over the materialized rows (NLJN rescans)."""
+        self._pos = 0
+
+    def next(self) -> Optional[tuple]:
+        self.require_open()
+        assert self._rows is not None
+        if self._pos < len(self._rows):
+            row = self._rows[self._pos]
+            self._pos += 1
+            self.ctx.meter.charge(self.ctx.cost_params.cpu_temp_scan)
+            return self.emit(row)
+        self.finish()
+        return None
+
+    @property
+    def materialized_rows(self) -> Optional[list[tuple]]:
+        return self._rows if self.build_complete else None

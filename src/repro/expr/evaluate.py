@@ -1,0 +1,184 @@
+"""Compilation of predicates into row-level Python callables.
+
+Operators in the executor work on flat tuples.  A :class:`RowLayout` maps
+qualified column names to tuple positions; :func:`compile_predicate` turns a
+predicate plus a layout plus the bind parameters into a fast
+``row -> bool`` closure evaluated per row in the executor hot path.
+
+SQL three-valued logic is approximated the usual engine way: any comparison
+with NULL is false, so filters simply drop NULL rows.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Sequence
+
+from repro.common.errors import ExecutionError
+from repro.expr.expressions import ColumnRef, operand_value
+from repro.expr.predicates import (
+    Between,
+    Comparison,
+    InList,
+    IsNull,
+    JoinPredicate,
+    Like,
+    Or,
+    Predicate,
+)
+
+RowPredicate = Callable[[tuple], bool]
+
+
+class RowLayout:
+    """Maps qualified column names (``alias.column``) to tuple positions."""
+
+    def __init__(self, columns: Sequence[str]):
+        self.columns = tuple(columns)
+        self._pos = {name: i for i, name in enumerate(self.columns)}
+        if len(self._pos) != len(self.columns):
+            raise ExecutionError(f"duplicate columns in row layout: {self.columns}")
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowLayout) and self.columns == other.columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RowLayout({list(self.columns)})"
+
+    def has(self, ref: ColumnRef | str) -> bool:
+        name = ref if isinstance(ref, str) else ref.qualified
+        return name in self._pos
+
+    def slot(self, ref: ColumnRef | str) -> int:
+        name = ref if isinstance(ref, str) else ref.qualified
+        try:
+            return self._pos[name]
+        except KeyError as exc:
+            raise ExecutionError(f"column {name!r} not in layout {self.columns}") from exc
+
+    def project(self, refs: Sequence[ColumnRef | str]) -> "RowLayout":
+        return RowLayout(
+            [r if isinstance(r, str) else r.qualified for r in refs]
+        )
+
+    def concat(self, other: "RowLayout") -> "RowLayout":
+        return RowLayout(self.columns + other.columns)
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern (``%``/``_`` wildcards) to a regex."""
+    parts: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$", re.DOTALL)
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def compile_predicate(
+    pred: Predicate, layout: RowLayout, params: dict[str, Any]
+) -> RowPredicate:
+    """Compile ``pred`` into a ``row -> bool`` closure.
+
+    Parameter markers are resolved against ``params`` once, at compile time,
+    so the returned closure does no dictionary lookups per row.
+    """
+    if isinstance(pred, Comparison):
+        slot = layout.slot(pred.column)
+        value = operand_value(pred.operand, params)
+        cmp = _COMPARATORS[pred.op]
+
+        def run_comparison(row: tuple) -> bool:
+            v = row[slot]
+            return v is not None and cmp(v, value)
+
+        return run_comparison
+
+    if isinstance(pred, Between):
+        slot = layout.slot(pred.column)
+        low = operand_value(pred.low, params)
+        high = operand_value(pred.high, params)
+
+        def run_between(row: tuple) -> bool:
+            v = row[slot]
+            return v is not None and low <= v <= high
+
+        return run_between
+
+    if isinstance(pred, InList):
+        slot = layout.slot(pred.column)
+        values = set(pred.values)
+
+        def run_in(row: tuple) -> bool:
+            v = row[slot]
+            return v is not None and v in values
+
+        return run_in
+
+    if isinstance(pred, Like):
+        slot = layout.slot(pred.column)
+        regex = like_to_regex(pred.pattern)
+
+        def run_like(row: tuple) -> bool:
+            v = row[slot]
+            return isinstance(v, str) and regex.match(v) is not None
+
+        return run_like
+
+    if isinstance(pred, IsNull):
+        slot = layout.slot(pred.column)
+        if pred.negated:
+            return lambda row: row[slot] is not None
+        return lambda row: row[slot] is None
+
+    if isinstance(pred, Or):
+        children = [compile_predicate(c, layout, params) for c in pred.children]
+
+        def run_or(row: tuple) -> bool:
+            return any(child(row) for child in children)
+
+        return run_or
+
+    if isinstance(pred, JoinPredicate):
+        left_slot = layout.slot(pred.left)
+        right_slot = layout.slot(pred.right)
+
+        def run_join(row: tuple) -> bool:
+            a = row[left_slot]
+            return a is not None and a == row[right_slot]
+
+        return run_join
+
+    raise ExecutionError(f"cannot compile predicate {pred!r}")
+
+
+def compile_conjunction(
+    preds: Sequence[Predicate], layout: RowLayout, params: dict[str, Any]
+) -> RowPredicate:
+    """Compile an AND of predicates; an empty list compiles to always-true."""
+    compiled = [compile_predicate(p, layout, params) for p in preds]
+    if not compiled:
+        return lambda row: True
+    if len(compiled) == 1:
+        return compiled[0]
+
+    def run_all(row: tuple) -> bool:
+        return all(p(row) for p in compiled)
+
+    return run_all

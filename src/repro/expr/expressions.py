@@ -1,0 +1,62 @@
+"""Scalar expressions: column references, literals, and parameter markers.
+
+Parameter markers are the paper's Section 5.1 device for creating controlled
+cardinality estimation errors: the optimizer does not know the value at
+compile time and must fall back to a default selectivity, while the executor
+receives the actual value through the bind-parameter dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to ``alias.column`` of some table in the query block."""
+
+    table: str
+    column: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.column}"
+
+    def __str__(self) -> str:
+        return self.qualified
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value known at optimization time."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ParameterMarker:
+    """A ``?`` placeholder whose value is bound only at execution time."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: Operand of a comparison: either a compile-time constant or a marker.
+Operand = Literal | ParameterMarker
+
+
+def operand_value(operand: Operand, params: dict[str, Any]) -> Any:
+    """Resolve an operand to a concrete value using bind parameters."""
+    if isinstance(operand, Literal):
+        return operand.value
+    from repro.common.errors import UnboundParameterError
+
+    if operand.name not in params:
+        raise UnboundParameterError(f"no value bound for parameter {operand.name!r}")
+    return params[operand.name]

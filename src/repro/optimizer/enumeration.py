@@ -1,0 +1,655 @@
+"""System-R style dynamic-programming plan enumeration.
+
+For every connected subset of the query's tables the enumerator keeps the
+cheapest plan per interesting order.  Join candidates are generated for all
+partitions of a subset (bushy by default, left-deep for wide queries) and all
+enabled join methods, plus MV-scan candidates when a temporary materialized
+view from a previous partial execution matches the subset (paper §2.3: reuse
+is a cost-based *choice*, never forced).
+
+Validity-range narrowing (paper §2.2) is woven into pruning: whenever two
+*structurally equivalent* candidates — same pair of input-edge row sets,
+commutations included — are compared, the cheaper one's per-edge validity
+ranges are narrowed with the Fig. 5 sensitivity probe against the loser's
+cost function.  Join-order changes never narrow ranges, exactly as the paper
+prescribes (the conservatism that avoids guessing unobservable
+correlations).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.errors import OptimizerError
+from repro.expr.evaluate import RowLayout
+from repro.expr.predicates import (
+    Between,
+    Comparison,
+    JoinPredicate,
+    Predicate,
+    predicate_set_id,
+)
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.costmodel import CostModel
+from repro.optimizer.joingraph import JoinGraph
+from repro.optimizer.validity import narrow_validity_range
+from repro.plan.logical import Aggregate, Query
+from repro.plan.physical import (
+    Distinct,
+    GroupBy,
+    HashJoin,
+    HavingFilter,
+    IndexScan,
+    MergeJoin,
+    MVScan,
+    NLJoin,
+    PlanOp,
+    Project,
+    Return,
+    Sort,
+    TableScan,
+    Temp,
+)
+from repro.plan.properties import PlanProperties
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class OptimizerOptions:
+    """Switches controlling enumeration (several map to paper experiments)."""
+
+    enable_hash_join: bool = True
+    enable_merge_join: bool = True
+    enable_index_nljn: bool = True
+    enable_rescan_nljn: bool = True
+    #: Consider temp MVs from previous partial executions (paper §2.3).
+    consider_mvs: bool = True
+    #: Price MV scans at zero (forces reuse — the "always" ablation policy).
+    mv_cost_zero: bool = False
+    #: Newton–Raphson iteration cap of the validity probe (paper: 3).
+    validity_iterations: int = 3
+    #: Commit Fig. 5 step-(g) bounds when the probe converged but the cap hit.
+    commit_without_inversion: bool = True
+    #: Compute validity ranges at all (ablation switch).
+    compute_validity_ranges: bool = True
+    #: §7 extension ("Checking Opportunities"): when a query's estimates are
+    #: unreliable (parameter markers present), penalize hash joins by this
+    #: fraction, steering the plan toward sort-merge — whose naturally
+    #: materialized inputs give POP more lazy re-optimization opportunities.
+    uncertainty_penalty: float = 0.0
+    #: "bushy", "leftdeep", or "auto" (bushy up to auto_bushy_limit tables).
+    join_enumeration: str = "auto"
+    auto_bushy_limit: int = 8
+    #: Keep at most this many interesting-order plans per subset.
+    max_plans_per_subset: int = 4
+
+
+@dataclass
+class Candidate:
+    """One physical alternative for a table subset during DP."""
+
+    plan: PlanOp
+    cost: float
+    order: tuple
+    #: Identity of the two input edges as (outer tables, inner tables);
+    #: ``None`` for leaf candidates (scans, MV scans).
+    edge_subsets: Optional[tuple] = None
+    #: Total cost as a function of (outer_card, inner_card); None for leaves.
+    cost_fn: Optional[Callable[[float, float], float]] = None
+
+
+def order_satisfies(provided: tuple, required: tuple) -> bool:
+    """True when ``provided`` output order covers ``required`` as a prefix."""
+    return provided[: len(required)] == tuple(required)
+
+
+class PlanEnumerator:
+    """Runs the DP for one query and produces the final physical plan."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: Query,
+        estimator: CardinalityEstimator,
+        cost_model: CostModel,
+        options: Optional[OptimizerOptions] = None,
+    ):
+        self.catalog = catalog
+        self.query = query
+        self.estimator = estimator
+        self.cost_model = cost_model
+        self.options = options if options is not None else OptimizerOptions()
+        self.graph = JoinGraph(query)
+        #: Number of candidate plans constructed (drives re-optimization cost).
+        self.plans_enumerated = 0
+        self._allow_cross = not self.graph.fully_connected
+        #: Hash-join cost multiplier under estimate uncertainty (§7).
+        self._hash_penalty = 1.0
+        if self.options.uncertainty_penalty > 0.0 and any(
+            p.has_marker for p in query.local_predicates
+        ):
+            self._hash_penalty = 1.0 + self.options.uncertainty_penalty
+
+    # ================================================================ leaves
+
+    def _table_layout(self, alias: str) -> RowLayout:
+        table = self.catalog.table(self.query.table_for(alias).table)
+        return RowLayout([f"{alias}.{c}" for c in table.schema.names()])
+
+    def _leaf_properties(self, alias: str) -> PlanProperties:
+        preds = self.query.local_predicates_for(alias)
+        return PlanProperties(
+            tables=frozenset({alias}), predicates=predicate_set_id(preds)
+        )
+
+    def _sargable(self, pred: Predicate, column: str, supports_range: bool) -> bool:
+        """Can ``pred`` be evaluated through an index on ``column``?"""
+        if isinstance(pred, Comparison) and pred.column.column == column:
+            if pred.op == "=":
+                return True
+            return supports_range and pred.op in ("<", "<=", ">", ">=")
+        if isinstance(pred, Between) and pred.column.column == column:
+            return supports_range
+        return False
+
+    def access_paths(self, alias: str) -> list[Candidate]:
+        """Scan alternatives for one base table."""
+        table_name = self.query.table_for(alias).table
+        table = self.catalog.table(table_name)
+        stats = self.catalog.statistics(table_name)
+        pages = float(stats.page_count) if stats is not None else float(table.page_count)
+        base_rows = self.estimator.base_cardinality(alias)
+        preds = self.query.local_predicates_for(alias)
+        layout = self._table_layout(alias)
+        props = self._leaf_properties(alias)
+        card = self.estimator.filtered_cardinality(alias)
+
+        candidates = [
+            Candidate(
+                plan=TableScan(
+                    alias, table_name, preds, props, layout,
+                    est_card=card,
+                    est_cost=self.cost_model.table_scan_cost(pages, base_rows),
+                ),
+                cost=self.cost_model.table_scan_cost(pages, base_rows),
+                order=(),
+            )
+        ]
+        self.plans_enumerated += 1
+
+        for index in self.catalog.indexes_on(table_name):
+            sarg = next(
+                (
+                    p
+                    for p in preds
+                    if self._sargable(p, index.column, index.supports_range)
+                ),
+                None,
+            )
+            if sarg is None:
+                continue
+            sarg_sel = self.estimator.single_predicate_selectivity(alias, sarg)
+            matched = max(1.0, base_rows * sarg_sel)
+            residual = [p for p in preds if p is not sarg]
+            cost = self.cost_model.index_range_scan_cost(
+                matched, float(index.leaf_pages), pages
+            )
+            order = (
+                (f"{alias}.{index.column}",) if index.supports_range else ()
+            )
+            plan = IndexScan(
+                alias, table_name, index.name, sarg, residual,
+                props.with_order(order), layout,
+                est_card=card, est_cost=cost,
+            )
+            candidates.append(Candidate(plan=plan, cost=cost, order=order))
+            self.plans_enumerated += 1
+
+        candidates.extend(self._mv_candidates(frozenset({alias})))
+        return candidates
+
+    # ================================================================ MV reuse
+
+    def _mv_candidates(self, subset: frozenset) -> list[Candidate]:
+        """MV-scan alternatives for ``subset`` from temp MVs (paper §2.3)."""
+        if not self.options.consider_mvs:
+            return []
+        required = predicate_set_id(self.estimator.predicates_for_subset(subset))
+        candidates = []
+        for mv in self.catalog.temp_mvs():
+            if mv.tables != subset or not (mv.predicate_ids <= required):
+                continue
+            residual_ids = required - mv.predicate_ids
+            residual = [
+                p
+                for p in self.estimator.predicates_for_subset(subset)
+                if p.pred_id in residual_ids
+            ]
+            if residual:
+                # Residual predicates must be evaluable over the MV's columns.
+                mv_cols = set(mv.columns)
+                if any(
+                    c.qualified not in mv_cols for p in residual for c in p.columns()
+                ):
+                    continue
+                card = max(0.001, mv.cardinality * 0.5)
+                exact = False
+            else:
+                card = float(mv.cardinality)
+                exact = True
+            cost = (
+                0.0
+                if self.options.mv_cost_zero
+                else self.cost_model.mv_scan_cost(mv.cardinality)
+            )
+            props = PlanProperties(
+                tables=subset, predicates=required, order=tuple(mv.order)
+            )
+            plan = MVScan(
+                mv.name, props, RowLayout(list(mv.columns)),
+                est_card=card, est_cost=cost, filters=residual,
+            )
+            candidates.append(
+                Candidate(plan=plan, cost=cost, order=tuple(mv.order))
+            )
+            self.plans_enumerated += 1
+        return candidates
+
+    # ================================================================= joins
+
+    def _join_properties(self, subset: frozenset) -> PlanProperties:
+        return PlanProperties(
+            tables=subset,
+            predicates=predicate_set_id(
+                self.estimator.predicates_for_subset(subset)
+            ),
+        )
+
+    def _join_candidates(
+        self,
+        left: Candidate,
+        right: Candidate,
+        left_tables: frozenset,
+        right_tables: frozenset,
+        subset: frozenset,
+    ) -> list[Candidate]:
+        """All join methods for ``left JOIN right`` (left is the outer)."""
+        cm = self.cost_model
+        preds = self.graph.predicates_between(left_tables, right_tables)
+        card_l = left.plan.est_card
+        card_r = right.plan.est_card
+        card_out = self.estimator.subset_cardinality(subset)
+        # Effective join selectivity: keeps out(cl, cr) consistent with the
+        # subset estimate at the current operating point.
+        sel_eff = card_out / max(1e-9, card_l * card_r)
+        props = self._join_properties(subset)
+        layout = left.plan.layout.concat(right.plan.layout)
+        edge_subsets = (left_tables, right_tables)
+        base_cost = left.cost + right.cost
+        out: list[Candidate] = []
+
+        # ---------------------------------------------------------- hash join
+        if self.options.enable_hash_join and preds:
+            penalty = self._hash_penalty
+            local = cm.hash_join_cost(card_l, card_r, card_out) * penalty
+            plan = HashJoin(
+                left.plan, right.plan, preds, props, layout,
+                est_card=card_out, est_cost=base_cost + local,
+            )
+
+            def hsjn_cost(
+                cl: float, cr: float, _base=base_cost, _sel=sel_eff, _pen=penalty
+            ) -> float:
+                return _base + cm.hash_join_cost(cl, cr, cl * cr * _sel) * _pen
+
+            out.append(
+                Candidate(plan, base_cost + local, left.order, edge_subsets, hsjn_cost)
+            )
+            self.plans_enumerated += 1
+
+        # --------------------------------------------------------- merge join
+        if self.options.enable_merge_join and preds:
+            key_l = tuple(p.side_for(next(iter(p.tables() & left_tables))).qualified
+                          for p in preds)
+            key_r = tuple(p.other_side(next(iter(p.tables() & left_tables))).qualified
+                          for p in preds)
+            sort_l = not order_satisfies(left.order, key_l)
+            sort_r = not order_satisfies(right.order, key_r)
+            local = cm.merge_join_cost(card_l, card_r, card_out, sort_l, sort_r)
+            outer_plan = left.plan
+            inner_plan = right.plan
+            if sort_l:
+                outer_plan = Sort(
+                    left.plan, key_l, left.plan.properties.with_order(key_l),
+                    est_cost=left.cost + cm.sort_cost(card_l),
+                )
+            if sort_r:
+                inner_plan = Sort(
+                    right.plan, key_r, right.plan.properties.with_order(key_r),
+                    est_cost=right.cost + cm.sort_cost(card_r),
+                )
+            plan = MergeJoin(
+                outer_plan, inner_plan, preds, props.with_order(key_l), layout,
+                est_card=card_out, est_cost=base_cost + local,
+            )
+
+            def msjn_cost(
+                cl: float, cr: float,
+                _base=base_cost, _sel=sel_eff, _sl=sort_l, _sr=sort_r,
+            ) -> float:
+                return _base + cm.merge_join_cost(cl, cr, cl * cr * _sel, _sl, _sr)
+
+            out.append(
+                Candidate(plan, base_cost + local, key_l, edge_subsets, msjn_cost)
+            )
+            self.plans_enumerated += 1
+
+        # -------------------------------------------------- rescan nested loop
+        if self.options.enable_rescan_nljn:
+            all_preds = preds  # applied as join filters; empty = cross product
+            if all_preds or self._allow_cross:
+                local = cm.nljn_rescan_cost(card_l, card_r, card_out)
+                temp = Temp(right.plan, est_cost=right.cost + cm.temp_cost(card_r))
+                plan = NLJoin(
+                    left.plan, temp, all_preds, props, layout,
+                    est_card=card_out, est_cost=base_cost + local,
+                    method="rescan",
+                )
+
+                def rescan_cost(
+                    cl: float, cr: float, _base=base_cost, _sel=sel_eff
+                ) -> float:
+                    return _base + cm.nljn_rescan_cost(cl, cr, cl * cr * _sel)
+
+                out.append(
+                    Candidate(
+                        plan, base_cost + local, left.order, edge_subsets, rescan_cost
+                    )
+                )
+                self.plans_enumerated += 1
+
+        return out
+
+    def _index_nljn_candidates(
+        self,
+        left: Candidate,
+        left_tables: frozenset,
+        inner_alias: str,
+        subset: frozenset,
+    ) -> list[Candidate]:
+        """Index nested-loop joins: probe an inner index once per outer row."""
+        if not self.options.enable_index_nljn:
+            return []
+        cm = self.cost_model
+        preds = self.graph.predicates_between(left_tables, {inner_alias})
+        if not preds:
+            return []
+        inner_table_name = self.query.table_for(inner_alias).table
+        out: list[Candidate] = []
+        card_l = left.plan.est_card
+        card_out = self.estimator.subset_cardinality(subset)
+        card_r = self.estimator.filtered_cardinality(inner_alias)
+        sel_eff = card_out / max(1e-9, card_l * card_r)
+        base_rows = self.estimator.base_cardinality(inner_alias)
+        local_preds = self.query.local_predicates_for(inner_alias)
+        stats = self.catalog.statistics(inner_table_name)
+        inner_pages = float(
+            stats.page_count
+            if stats is not None
+            else self.catalog.table(inner_table_name).page_count
+        )
+
+        for pred in preds:
+            inner_col = pred.side_for(inner_alias)
+            index = self.catalog.index_on_column(inner_table_name, inner_col.column)
+            if index is None:
+                continue
+            ndv = stats.ndv(inner_col.column) if stats is not None else None
+            fetched_per_probe = base_rows / float(ndv) if ndv else 1.0
+            residual_joins = [p for p in preds if p is not pred]
+            probe_cost = cm.index_probe_cost(fetched_per_probe, inner_pages)
+            inner_total_cost = card_l * probe_cost
+            props = self._join_properties(subset)
+            layout = left.plan.layout.concat(self._table_layout(inner_alias))
+            inner_props = self._leaf_properties(inner_alias)
+            inner_plan = IndexScan(
+                inner_alias, inner_table_name, index.name,
+                sarg=None, filters=list(local_preds),
+                properties=inner_props,
+                layout=self._table_layout(inner_alias),
+                est_card=card_out, est_cost=inner_total_cost,
+                correlation=pred.other_side(inner_alias),
+            )
+            emit_cost = card_out * cm.params.cpu_emit
+            total = left.cost + inner_total_cost + emit_cost
+            plan = NLJoin(
+                left.plan, inner_plan, [pred] + residual_joins, props, layout,
+                est_card=card_out, est_cost=total, method="index",
+            )
+
+            def nljn_cost(
+                cl: float, cr: float,
+                _lc=left.cost, _probe=probe_cost, _sel=sel_eff,
+            ) -> float:
+                return (
+                    _lc
+                    + cl * _probe
+                    + cl * cr * _sel * cm.params.cpu_emit
+                )
+
+            out.append(
+                Candidate(
+                    plan, total, left.order, (left_tables, frozenset({inner_alias})),
+                    nljn_cost,
+                )
+            )
+            self.plans_enumerated += 1
+        return out
+
+    # =============================================================== pruning
+
+    def _keep_best(self, candidates: list[Candidate], subset: frozenset) -> list[Candidate]:
+        """Dominance-prune a subset's candidates and narrow validity ranges.
+
+        A candidate is kept when no cheaper candidate provides (a prefix of)
+        its output order.  For every kept *join* candidate, its per-edge
+        validity ranges are narrowed against each more expensive structurally
+        equivalent alternative (same pair of input-edge subsets).
+        """
+        if not candidates:
+            return []
+        candidates.sort(key=lambda c: c.cost)
+        kept: list[Candidate] = []
+        for cand in candidates:
+            if any(
+                k.cost <= cand.cost and order_satisfies(k.order, cand.order)
+                for k in kept
+            ):
+                continue
+            kept.append(cand)
+            if len(kept) >= self.options.max_plans_per_subset:
+                break
+
+        if self.options.compute_validity_ranges:
+            for winner in kept:
+                if winner.cost_fn is None or winner.edge_subsets is None:
+                    continue
+                for alt in candidates:
+                    if alt is winner or alt.cost_fn is None:
+                        continue
+                    if alt.cost < winner.cost:
+                        continue
+                    self._narrow_against(winner, alt)
+        return kept
+
+    def _narrow_against(self, winner: Candidate, alt: Candidate) -> None:
+        """Narrow ``winner``'s edge validity ranges using pruned ``alt``."""
+        w_edges = winner.edge_subsets
+        a_edges = alt.edge_subsets
+        if w_edges is None or a_edges is None:
+            return
+        if set(w_edges) != set(a_edges):
+            return  # different input edges: not structurally equivalent
+        est = tuple(self.estimator.subset_cardinality(e) for e in w_edges)
+        for i, edge in enumerate(w_edges):
+            # Map this edge onto the alternative's argument position.
+            a_pos = a_edges.index(edge)
+
+            def cost_opt(c: float, _i=i) -> float:
+                cards = list(est)
+                cards[_i] = c
+                return winner.cost_fn(*cards)  # type: ignore[misc]
+
+            def cost_alt(c: float, _i=i, _a=a_pos) -> float:
+                cards = list(est)
+                cards[_i] = c
+                a_cards = [0.0, 0.0]
+                a_cards[_a] = cards[_i]
+                a_cards[1 - _a] = cards[1 - _i]
+                return alt.cost_fn(*a_cards)  # type: ignore[misc]
+
+            narrow_validity_range(
+                winner.plan.validity_ranges[i],
+                est[i],
+                cost_opt,
+                cost_alt,
+                max_iterations=self.options.validity_iterations,
+                commit_without_inversion=self.options.commit_without_inversion,
+            )
+
+    # ============================================================== main DP
+
+    def _partitions(self, subset: tuple) -> list[tuple[frozenset, frozenset]]:
+        """(outer, inner) partitions to consider for ``subset``."""
+        n = len(self.query.tables)
+        mode = self.options.join_enumeration
+        if mode == "auto":
+            mode = "bushy" if n <= self.options.auto_bushy_limit else "leftdeep"
+        subset_set = frozenset(subset)
+        parts: list[tuple[frozenset, frozenset]] = []
+        if mode == "leftdeep":
+            for alias in subset:
+                left = subset_set - {alias}
+                right = frozenset({alias})
+                parts.append((left, right))
+                parts.append((right, left))
+        else:
+            elements = list(subset)
+            for r in range(1, len(elements)):
+                for combo in itertools.combinations(elements, r):
+                    left = frozenset(combo)
+                    parts.append((left, subset_set - left))
+        return [
+            (l, r)
+            for l, r in parts
+            if self.graph.connected(l, r) or self._allow_cross
+        ]
+
+    def run(self) -> PlanOp:
+        """Execute the DP and return the full physical plan (Return at root)."""
+        aliases = self.query.aliases
+        if not aliases:
+            raise OptimizerError("query has no tables")
+        table: dict[frozenset, list[Candidate]] = {}
+        for alias in aliases:
+            table[frozenset({alias})] = self._keep_best(
+                self.access_paths(alias), frozenset({alias})
+            )
+
+        for size in range(2, len(aliases) + 1):
+            for combo in itertools.combinations(aliases, size):
+                subset = frozenset(combo)
+                if not self._allow_cross and not self.graph.is_connected_subset(combo):
+                    continue
+                candidates: list[Candidate] = []
+                for left_tables, right_tables in self._partitions(combo):
+                    left_plans = table.get(left_tables)
+                    right_plans = table.get(right_tables)
+                    if not left_plans or not right_plans:
+                        continue
+                    for pl in left_plans:
+                        for pr in right_plans:
+                            candidates.extend(
+                                self._join_candidates(
+                                    pl, pr, left_tables, right_tables, subset
+                                )
+                            )
+                        if len(right_tables) == 1:
+                            candidates.extend(
+                                self._index_nljn_candidates(
+                                    pl, left_tables, next(iter(right_tables)), subset
+                                )
+                            )
+                candidates.extend(self._mv_candidates(subset))
+                if not candidates:
+                    raise OptimizerError(
+                        f"no plan for subset {sorted(subset)} "
+                        "(disconnected join graph with cross products disabled?)"
+                    )
+                table[subset] = self._keep_best(candidates, subset)
+
+        full = frozenset(aliases)
+        best = min(table[full], key=lambda c: c.cost)
+        return self._finalize(best)
+
+    # ============================================================ finalization
+
+    def _finalize(self, best: Candidate) -> PlanOp:
+        """Add aggregation / distinct / order-by / projection / return."""
+        cm = self.cost_model
+        query = self.query
+        plan = best.plan
+
+        if query.has_aggregates:
+            group_keys = tuple(query.group_by)
+            out_card = self.estimator.group_by_cardinality(plan.est_card, group_keys)
+            layout = RowLayout(
+                [k.qualified for k in group_keys]
+                + [a.alias for a in query.select if isinstance(a, Aggregate)]
+            )
+            aggs = tuple(a for a in query.select if isinstance(a, Aggregate))
+            plan = GroupBy(
+                plan, group_keys, aggs,
+                plan.properties.unordered(), layout,
+                est_card=out_card,
+                est_cost=plan.est_cost + cm.group_by_cost(plan.est_card, out_card),
+            )
+
+        if query.having:
+            # Post-aggregation filter; a default selectivity per conjunct.
+            out_card = max(1.0, plan.est_card * (0.33 ** len(query.having)))
+            plan = HavingFilter(
+                plan, query.having,
+                est_card=out_card,
+                est_cost=plan.est_cost + plan.est_card * cm.params.cpu_row,
+            )
+
+        output_columns = query.output_names
+        if tuple(plan.layout.columns) != tuple(output_columns):
+            plan = Project(
+                plan, output_columns,
+                est_cost=plan.est_cost + cm.project_cost(plan.est_card),
+            )
+
+        if query.distinct and not query.has_aggregates:
+            # DISTINCT deduplicates the *projected* rows.
+            out_card = self.estimator.distinct_cardinality(plan.est_card)
+            plan = Distinct(
+                plan, plan.properties.unordered(),
+                est_card=out_card,
+                est_cost=plan.est_cost + cm.distinct_cost(plan.est_card, out_card),
+            )
+
+        if query.order_by:
+            keys = tuple(item.column for item in query.order_by)
+            ascending = tuple(item.ascending for item in query.order_by)
+            if not order_satisfies(plan.properties.order, keys) or not all(ascending):
+                plan = Sort(
+                    plan, keys, plan.properties.with_order(keys),
+                    est_cost=plan.est_cost + cm.sort_cost(plan.est_card),
+                    ascending=ascending,
+                )
+
+        return Return(plan, limit=query.limit)

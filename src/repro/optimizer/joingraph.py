@@ -1,0 +1,61 @@
+"""Join-graph analysis used by the plan enumerator."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.expr.predicates import JoinPredicate
+from repro.plan.logical import Query
+
+
+class JoinGraph:
+    """Adjacency view of a query's equi-join predicates."""
+
+    def __init__(self, query: Query):
+        self.aliases = list(query.aliases)
+        self.predicates = list(query.join_predicates)
+        self._adjacent: dict[str, set[str]] = {a: set() for a in self.aliases}
+        for jp in self.predicates:
+            a, b = tuple(jp.tables())
+            self._adjacent[a].add(b)
+            self._adjacent[b].add(a)
+
+    def neighbors(self, alias: str) -> set[str]:
+        return set(self._adjacent[alias])
+
+    def predicates_between(
+        self, left: Iterable[str], right: Iterable[str]
+    ) -> list[JoinPredicate]:
+        """Join predicates with one side in ``left`` and the other in ``right``."""
+        left_set = set(left)
+        right_set = set(right)
+        found = []
+        for jp in self.predicates:
+            a, b = tuple(jp.tables())
+            if (a in left_set and b in right_set) or (a in right_set and b in left_set):
+                found.append(jp)
+        return found
+
+    def connected(self, left: Iterable[str], right: Iterable[str]) -> bool:
+        return bool(self.predicates_between(left, right))
+
+    def is_connected_subset(self, subset: Sequence[str]) -> bool:
+        """True when the induced subgraph on ``subset`` is connected."""
+        nodes = set(subset)
+        if not nodes:
+            return False
+        if len(nodes) == 1:
+            return True
+        seen = set()
+        stack = [next(iter(nodes))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._adjacent[node] & nodes - seen)
+        return seen == nodes
+
+    @property
+    def fully_connected(self) -> bool:
+        return self.is_connected_subset(self.aliases)

@@ -1,0 +1,75 @@
+"""Top-level optimizer facade.
+
+Wraps the cardinality estimator and the DP enumerator into a single call and
+reports enumeration statistics (used to charge re-optimization overhead, the
+small gap in the paper's Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.feedback import CardinalityFeedback
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.costmodel import CostModel, CostParams, DEFAULT_COST_PARAMS
+from repro.optimizer.enumeration import OptimizerOptions, PlanEnumerator
+from repro.plan.logical import Query
+from repro.plan.physical import PlanOp, number_plan
+from repro.stats.selectivity import SelectivityEstimator
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class OptimizationResult:
+    """A physical plan plus how much work optimization did."""
+
+    plan: PlanOp
+    plans_enumerated: int
+    estimator: CardinalityEstimator
+
+    @property
+    def estimated_cost(self) -> float:
+        return self.plan.est_cost
+
+
+class Optimizer:
+    """Cost-based query optimizer with POP hooks.
+
+    The ``feedback`` argument injects actual cardinalities observed during
+    previous partial executions of the same statement; temp MVs registered in
+    the catalog are considered automatically (both are the POP §2.1 feedback
+    loop).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_params: CostParams = DEFAULT_COST_PARAMS,
+        options: Optional[OptimizerOptions] = None,
+        selectivity: Optional[SelectivityEstimator] = None,
+    ):
+        self.catalog = catalog
+        self.cost_model = CostModel(cost_params)
+        self.options = options if options is not None else OptimizerOptions()
+        self.selectivity = selectivity
+
+    def optimize(
+        self,
+        query: Query,
+        feedback: Optional[CardinalityFeedback] = None,
+    ) -> OptimizationResult:
+        """Produce the cheapest plan for ``query`` under current knowledge."""
+        estimator = CardinalityEstimator(
+            self.catalog, query, feedback=feedback, selectivity=self.selectivity
+        )
+        enumerator = PlanEnumerator(
+            self.catalog, query, estimator, self.cost_model, self.options
+        )
+        plan = enumerator.run()
+        number_plan(plan)
+        return OptimizationResult(
+            plan=plan,
+            plans_enumerated=enumerator.plans_enumerated,
+            estimator=estimator,
+        )

@@ -1,0 +1,5 @@
+"""Partitioned execution with local checking (paper §7)."""
+
+from repro.parallel.partitioned import PartitionedExecutor, PartitionedResult
+
+__all__ = ["PartitionedExecutor", "PartitionedResult"]

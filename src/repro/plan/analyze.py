@@ -1,0 +1,63 @@
+"""EXPLAIN ANALYZE: plans annotated with estimated vs actual cardinalities.
+
+POP's entire premise is the gap between estimate and reality; this renderer
+makes that gap visible per operator after execution.  ``actual`` shows the
+row count the operator emitted, suffixed ``+`` when the operator was
+interrupted before end-of-stream (the count is then a lower bound — exactly
+the distinction POP's feedback store makes).
+"""
+
+from __future__ import annotations
+
+from repro.plan.physical import PlanOp
+
+
+def explain_analyze_plan(root: PlanOp, actual_cards: dict) -> str:
+    """Render a plan with per-operator estimated vs actual cardinalities."""
+    lines: list[str] = []
+
+    def visit(op: PlanOp, depth: int) -> None:
+        indent = "  " * depth
+        actual = actual_cards.get(op.op_id)
+        if actual is None:
+            actual_text = "not executed"
+        else:
+            rows, complete = actual
+            actual_text = f"{rows}" if complete else f"{rows}+"
+        err = ""
+        if actual is not None and op.est_card > 0 and actual[0] > 0:
+            ratio = actual[0] / op.est_card
+            if ratio >= 2.0 or ratio <= 0.5:
+                err = f"  <-- {ratio:.1f}x of estimate"
+        lines.append(
+            f"{indent}{op.describe()}  "
+            f"{{est={op.est_card:.1f} actual={actual_text}}}{err}"
+        )
+        for child in op.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def explain_analyze(report) -> str:
+    """Render every attempt of a :class:`~repro.core.driver.PopReport`.
+
+    Each optimize+execute round shows its plan with actual row counts, plus
+    the checkpoint that ended it (if any).
+    """
+    sections: list[str] = []
+    for i, attempt in enumerate(report.attempts):
+        header = f"--- attempt {i}"
+        if attempt.reoptimized:
+            header += (
+                f" (re-optimized at CHECK[{attempt.signal_flavor}]"
+                f" op={attempt.signal_op_id},"
+                f" observed={attempt.signal_observed:.0f},"
+                f" reason={attempt.signal_reason})"
+            )
+        else:
+            header += " (completed)"
+        sections.append(header + " ---")
+        sections.append(explain_analyze_plan(attempt.plan, attempt.actual_cards))
+    return "\n".join(sections)

@@ -1,0 +1,119 @@
+"""Abstract syntax tree of the SQL dialect (pre-binding)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class ColumnName:
+    """A possibly-qualified column reference, e.g. ``c.name`` or ``name``."""
+
+    table: Optional[str]
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Constant:
+    value: Any
+
+
+@dataclass(frozen=True)
+class Marker:
+    """A ``?`` (auto-named ``p1``, ``p2``, ...) or ``:name`` parameter."""
+
+    name: str
+
+
+Scalar = ColumnName | Constant | Marker
+
+
+@dataclass(frozen=True)
+class ComparisonExpr:
+    left: Scalar
+    op: str
+    right: Scalar
+
+
+@dataclass(frozen=True)
+class BetweenExpr:
+    column: ColumnName
+    low: Constant | Marker
+    high: Constant | Marker
+
+
+@dataclass(frozen=True)
+class InExpr:
+    column: ColumnName
+    values: tuple
+
+
+@dataclass(frozen=True)
+class LikeExpr:
+    column: ColumnName
+    pattern: str
+
+
+@dataclass(frozen=True)
+class IsNullExpr:
+    column: ColumnName
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    children: tuple
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    children: tuple
+
+
+Condition = ComparisonExpr | BetweenExpr | InExpr | LikeExpr | IsNullExpr | AndExpr | OrExpr
+
+
+@dataclass(frozen=True)
+class SelectColumn:
+    column: ColumnName
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SelectAggregate:
+    func: str
+    argument: Optional[ColumnName]  # None = COUNT(*)
+    alias: Optional[str] = None
+
+
+SelectItemAst = SelectColumn | SelectAggregate
+
+
+@dataclass(frozen=True)
+class TableName:
+    table: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    column: ColumnName
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement:
+    """The parsed (unbound) SELECT statement."""
+
+    select: list
+    tables: list
+    where: Optional[Condition] = None
+    group_by: list = field(default_factory=list)
+    having: Optional[Condition] = None
+    order_by: list = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False

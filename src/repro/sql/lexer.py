@@ -1,0 +1,125 @@
+"""Hand-written SQL lexer."""
+
+from __future__ import annotations
+
+from repro.common.errors import ParseError
+from repro.sql.tokens import KEYWORDS, Token, TokenType
+
+_OPERATOR_CHARS = {"=", "!", "<", ">"}
+_PUNCT = {"(", ")", ",", ".", "*"}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`ParseError` on bad characters."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    marker_counter = 0
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # Line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start = i
+        if ch.isalpha() or ch == "_":
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            lower = word.lower()
+            if lower in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lower, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, lower, start))
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and text[i + 1].isdigit() and _number_context(tokens)
+        ):
+            i += 1
+            is_float = False
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                if text[i] == ".":
+                    if is_float:
+                        break
+                    is_float = True
+                i += 1
+            # Scientific notation: 1e9, 2.5E-3, 1e+6.
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    is_float = True
+                    i = j
+                    while i < n and text[i].isdigit():
+                        i += 1
+            literal = text[start:i]
+            value = float(literal) if is_float else int(literal)
+            tokens.append(Token(TokenType.NUMBER, value, start))
+            continue
+        if ch == "'":
+            i += 1
+            chars: list[str] = []
+            while i < n:
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":  # escaped quote
+                        chars.append("'")
+                        i += 2
+                        continue
+                    break
+                chars.append(text[i])
+                i += 1
+            if i >= n:
+                raise ParseError("unterminated string literal", start)
+            i += 1  # closing quote
+            tokens.append(Token(TokenType.STRING, "".join(chars), start))
+            continue
+        if ch == "?":
+            marker_counter += 1
+            tokens.append(Token(TokenType.MARKER, f"p{marker_counter}", start))
+            i += 1
+            continue
+        if ch == ":":
+            i += 1
+            name_start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            if i == name_start:
+                raise ParseError("':' must be followed by a parameter name", start)
+            tokens.append(Token(TokenType.MARKER, text[name_start:i], start))
+            continue
+        if ch in _OPERATOR_CHARS:
+            if i + 1 < n and text[i + 1] == "=":
+                op = text[i : i + 2]
+                i += 2
+            elif ch == "<" and i + 1 < n and text[i + 1] == ">":
+                op = "!="
+                i += 2
+            else:
+                op = ch
+                i += 1
+            if op == "!":
+                raise ParseError("'!' is only valid as part of '!='", start)
+            tokens.append(Token(TokenType.OPERATOR, op, start))
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, start))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, None, n))
+    return tokens
+
+
+def _number_context(tokens: list[Token]) -> bool:
+    """Is a leading '-' here a numeric sign (vs. nothing we support)?"""
+    if not tokens:
+        return True
+    last = tokens[-1]
+    return last.type in (TokenType.OPERATOR, TokenType.KEYWORD) or (
+        last.type is TokenType.PUNCT and last.value in ("(", ",")
+    )

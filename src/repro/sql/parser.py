@@ -1,0 +1,310 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Supported grammar (one select-project-join block, as in the paper's
+prototype)::
+
+    SELECT [DISTINCT] item {, item}
+    FROM table [alias] { (, | [INNER] JOIN) table [alias] [ON cond] }
+    [WHERE cond]
+    [GROUP BY column {, column}]
+    [ORDER BY column [ASC|DESC] {, ...}]
+    [LIMIT n]
+
+    item := column [AS alias] | func ( column | * ) [AS alias]
+    cond := or-combination of: col <op> (const | ? | :name | col),
+            col BETWEEN x AND y, col IN (c, ...), col [NOT] LIKE 'pattern'
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import ParseError
+from repro.sql.ast_nodes import (
+    AndExpr,
+    BetweenExpr,
+    ColumnName,
+    IsNullExpr,
+    ComparisonExpr,
+    Constant,
+    InExpr,
+    LikeExpr,
+    Marker,
+    OrderSpec,
+    OrExpr,
+    Scalar,
+    SelectAggregate,
+    SelectColumn,
+    SelectStatement,
+    TableName,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+_AGG_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+class Parser:
+    """One-pass recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------- utilities
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.current.is_keyword(*names):
+            expected = " or ".join(n.upper() for n in names)
+            raise ParseError(
+                f"expected {expected}, got {self.current}", self.current.position
+            )
+        return self.advance()
+
+    def expect_punct(self, value: str) -> Token:
+        if self.current.type is not TokenType.PUNCT or self.current.value != value:
+            raise ParseError(f"expected {value!r}, got {self.current}", self.current.position)
+        return self.advance()
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.current.is_keyword(*names):
+            return self.advance()
+        return None
+
+    def accept_punct(self, value: str) -> bool:
+        if self.current.type is TokenType.PUNCT and self.current.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> str:
+        if self.current.type is not TokenType.IDENT:
+            raise ParseError(f"expected identifier, got {self.current}", self.current.position)
+        return self.advance().value
+
+    # ----------------------------------------------------------- entry point
+
+    def parse(self) -> SelectStatement:
+        stmt = self.parse_select()
+        if self.current.type is not TokenType.EOF:
+            raise ParseError(f"unexpected trailing input: {self.current}", self.current.position)
+        return stmt
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct") is not None
+        select = [self.parse_select_item()]
+        while self.accept_punct(","):
+            select.append(self.parse_select_item())
+        self.expect_keyword("from")
+        tables, join_conds = self.parse_from()
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_condition()
+        if join_conds:
+            parts = list(join_conds) + ([where] if where is not None else [])
+            where = AndExpr(tuple(parts)) if len(parts) > 1 else parts[0]
+        group_by: list[ColumnName] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_column())
+            while self.accept_punct(","):
+                group_by.append(self.parse_column())
+        having = None
+        if self.accept_keyword("having"):
+            having = self.parse_condition()
+        order_by: list[OrderSpec] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.advance()
+            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                raise ParseError("LIMIT requires an integer", token.position)
+            limit = token.value
+        return SelectStatement(
+            select=select,
+            tables=tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    # -------------------------------------------------------------- clauses
+
+    def parse_select_item(self):
+        token = self.current
+        if token.is_keyword(*_AGG_FUNCS):
+            func = self.advance().value
+            self.expect_punct("(")
+            if self.accept_punct("*"):
+                if func != "count":
+                    raise ParseError(f"{func}(*) is not valid", token.position)
+                argument = None
+            else:
+                argument = self.parse_column()
+            self.expect_punct(")")
+            alias = self._maybe_alias()
+            return SelectAggregate(func=func, argument=argument, alias=alias)
+        column = self.parse_column()
+        alias = self._maybe_alias()
+        return SelectColumn(column=column, alias=alias)
+
+    def _maybe_alias(self) -> Optional[str]:
+        if self.accept_keyword("as"):
+            return self.expect_ident()
+        if self.current.type is TokenType.IDENT:
+            return self.advance().value
+        return None
+
+    def parse_column(self) -> ColumnName:
+        first = self.expect_ident()
+        if self.accept_punct("."):
+            return ColumnName(table=first, column=self.expect_ident())
+        return ColumnName(table=None, column=first)
+
+    def parse_from(self) -> tuple[list[TableName], list]:
+        tables = [self.parse_table_ref()]
+        join_conds = []
+        while True:
+            if self.accept_punct(","):
+                tables.append(self.parse_table_ref())
+                continue
+            if self.current.is_keyword("inner", "join"):
+                self.accept_keyword("inner")
+                self.expect_keyword("join")
+                tables.append(self.parse_table_ref())
+                if self.accept_keyword("on"):
+                    join_conds.append(self.parse_condition())
+                continue
+            break
+        return tables, join_conds
+
+    def parse_table_ref(self) -> TableName:
+        table = self.expect_ident()
+        alias = table
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return TableName(table=table, alias=alias)
+
+    def parse_order_item(self) -> OrderSpec:
+        column = self.parse_column()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return OrderSpec(column=column, ascending=ascending)
+
+    # ------------------------------------------------------------ conditions
+
+    def parse_condition(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        parts = [self.parse_and()]
+        while self.accept_keyword("or"):
+            parts.append(self.parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return OrExpr(tuple(parts))
+
+    def parse_and(self):
+        parts = [self.parse_primary()]
+        while self.accept_keyword("and"):
+            parts.append(self.parse_primary())
+        if len(parts) == 1:
+            return parts[0]
+        return AndExpr(tuple(parts))
+
+    def parse_primary(self):
+        if self.accept_punct("("):
+            cond = self.parse_condition()
+            self.expect_punct(")")
+            return cond
+        if self.current.type in (TokenType.NUMBER, TokenType.STRING, TokenType.MARKER):
+            # value <op> column form, normalized by the binder.
+            left = self.parse_value()
+            op_token = self.advance()
+            if op_token.type is not TokenType.OPERATOR:
+                raise ParseError(
+                    f"expected a comparison operator, got {op_token}",
+                    op_token.position,
+                )
+            return ComparisonExpr(left=left, op=op_token.value, right=self.parse_column())
+        column = self.parse_column()
+        token = self.current
+        if token.is_keyword("is"):
+            self.advance()
+            negated = self.accept_keyword("not") is not None
+            self.expect_keyword("null")
+            return IsNullExpr(column=column, negated=negated)
+        if token.type is TokenType.OPERATOR:
+            op = self.advance().value
+            right = self.parse_scalar()
+            return ComparisonExpr(left=column, op=op, right=right)
+        if token.is_keyword("between"):
+            self.advance()
+            low = self.parse_value()
+            self.expect_keyword("and")
+            high = self.parse_value()
+            return BetweenExpr(column=column, low=low, high=high)
+        if token.is_keyword("in"):
+            self.advance()
+            self.expect_punct("(")
+            values = [self.parse_constant_value()]
+            while self.accept_punct(","):
+                values.append(self.parse_constant_value())
+            self.expect_punct(")")
+            return InExpr(column=column, values=tuple(values))
+        if token.is_keyword("like"):
+            self.advance()
+            pattern = self.advance()
+            if pattern.type is not TokenType.STRING:
+                raise ParseError("LIKE requires a string pattern", pattern.position)
+            return LikeExpr(column=column, pattern=pattern.value)
+        raise ParseError(f"expected a predicate operator, got {token}", token.position)
+
+    def parse_scalar(self) -> Scalar:
+        token = self.current
+        if token.type is TokenType.IDENT:
+            return self.parse_column()
+        return self.parse_value()
+
+    def parse_value(self):
+        token = self.advance()
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            return Constant(token.value)
+        if token.type is TokenType.MARKER:
+            return Marker(token.value)
+        if token.is_keyword("null"):
+            return Constant(None)
+        raise ParseError(f"expected a value, got {token}", token.position)
+
+    def parse_constant_value(self) -> object:
+        token = self.advance()
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            return token.value
+        raise ParseError(f"expected a constant, got {token}", token.position)
+
+
+def parse_sql(text: str) -> SelectStatement:
+    """Parse SQL text into an (unbound) AST."""
+    return Parser(text).parse()

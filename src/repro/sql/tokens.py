@@ -1,0 +1,69 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"  # = != < <= > >=
+    PUNCT = "punct"  # ( ) , . *
+    MARKER = "marker"  # ? or :name
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "distinct",
+        "from",
+        "where",
+        "group",
+        "order",
+        "by",
+        "having",
+        "as",
+        "and",
+        "or",
+        "not",
+        "is",
+        "in",
+        "like",
+        "between",
+        "join",
+        "inner",
+        "on",
+        "asc",
+        "desc",
+        "limit",
+        "count",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "null",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __str__(self) -> str:
+        if self.type is TokenType.EOF:
+            return "<end of input>"
+        return repr(self.value)

@@ -1,0 +1,52 @@
+"""RUNSTATS: statistics collection over catalog tables."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.stats.column_stats import ColumnStatistics
+from repro.stats.table_stats import TableStatistics
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+def collect_table_statistics(
+    table: Table,
+    columns: Optional[Sequence[str]] = None,
+    num_buckets: int = 20,
+    num_mcvs: int = 10,
+) -> TableStatistics:
+    """Compute statistics for ``table`` (all columns by default)."""
+    names = list(columns) if columns is not None else table.schema.names()
+    stats = TableStatistics(
+        table=table.name,
+        row_count=table.row_count,
+        page_count=table.page_count,
+    )
+    for name in names:
+        stats.columns[name] = ColumnStatistics.collect(
+            name,
+            table.column_values(name),
+            num_buckets=num_buckets,
+            num_mcvs=num_mcvs,
+        )
+    return stats
+
+
+def runstats(
+    catalog: Catalog,
+    tables: Optional[Sequence[str]] = None,
+    num_buckets: int = 20,
+    num_mcvs: int = 10,
+) -> None:
+    """Collect and register statistics for the given tables (default: all)."""
+    targets = (
+        [catalog.table(t) for t in tables]
+        if tables is not None
+        else catalog.tables()
+    )
+    for table in targets:
+        stats = collect_table_statistics(
+            table, num_buckets=num_buckets, num_mcvs=num_mcvs
+        )
+        catalog.set_statistics(table.name, stats)

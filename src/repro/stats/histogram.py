@@ -1,0 +1,118 @@
+"""Equi-depth histograms for selectivity estimation.
+
+The estimator mirrors what commercial optimizers of the paper's era used
+(DB2 quantile statistics): buckets of roughly equal row count whose
+boundaries are data values.  Within a bucket the classic uniformity
+assumption applies — both over the value range (for numeric interpolation)
+and over the bucket's distinct values (for equality estimates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One histogram bucket covering ``(lower, upper]`` (first bucket is
+    closed on both ends)."""
+
+    lower: Any
+    upper: Any
+    count: int
+    distinct: int
+
+
+class EquiDepthHistogram:
+    """An equi-depth histogram over non-NULL values of one column."""
+
+    def __init__(self, buckets: list[Bucket], total: int):
+        self.buckets = buckets
+        self.total = total
+
+    @classmethod
+    def build(cls, values: Sequence[Any], num_buckets: int = 20) -> "EquiDepthHistogram":
+        """Build from a collection of non-NULL values (any comparable type)."""
+        data = sorted(values)
+        total = len(data)
+        if total == 0:
+            return cls([], 0)
+        num_buckets = max(1, min(num_buckets, total))
+        buckets: list[Bucket] = []
+        start = 0
+        for b in range(num_buckets):
+            end = ((b + 1) * total) // num_buckets
+            if end <= start:
+                continue
+            # Extend the bucket so equal values never straddle a boundary;
+            # this keeps equality estimates consistent.
+            while end < total and data[end] == data[end - 1]:
+                end += 1
+            chunk = data[start:end]
+            buckets.append(
+                Bucket(
+                    lower=chunk[0],
+                    upper=chunk[-1],
+                    count=len(chunk),
+                    distinct=len(set(chunk)),
+                )
+            )
+            start = end
+            if start >= total:
+                break
+        return cls(buckets, total)
+
+    @property
+    def min_value(self) -> Any:
+        return self.buckets[0].lower if self.buckets else None
+
+    @property
+    def max_value(self) -> Any:
+        return self.buckets[-1].upper if self.buckets else None
+
+    def _bucket_fraction_le(self, bucket: Bucket, value: Any) -> float:
+        """Fraction of a bucket's rows with value <= ``value`` (interpolated)."""
+        if value >= bucket.upper:
+            return 1.0
+        if value < bucket.lower:
+            return 0.0
+        lo, hi = bucket.lower, bucket.upper
+        if isinstance(lo, (int, float)) and isinstance(hi, (int, float)) and hi > lo:
+            return (float(value) - float(lo)) / (float(hi) - float(lo))
+        # Non-numeric (strings): assume half the bucket qualifies.
+        return 0.5
+
+    def fraction_le(self, value: Any) -> float:
+        """Estimated fraction of rows with column value <= ``value``."""
+        if self.total == 0:
+            return 0.0
+        rows = 0.0
+        for bucket in self.buckets:
+            if value >= bucket.upper:
+                rows += bucket.count
+            elif value < bucket.lower:
+                break
+            else:
+                rows += bucket.count * self._bucket_fraction_le(bucket, value)
+                break
+        return min(1.0, rows / self.total)
+
+    def fraction_lt(self, value: Any) -> float:
+        """Estimated fraction strictly below ``value``."""
+        return max(0.0, self.fraction_le(value) - self.fraction_eq(value))
+
+    def fraction_eq(self, value: Any) -> float:
+        """Estimated fraction equal to ``value`` (uniform within the bucket)."""
+        if self.total == 0:
+            return 0.0
+        for bucket in self.buckets:
+            if bucket.lower <= value <= bucket.upper:
+                return (bucket.count / max(1, bucket.distinct)) / self.total
+        return 0.0
+
+    def fraction_between(self, low: Any, high: Any) -> float:
+        """Estimated fraction in the inclusive range ``[low, high]``."""
+        if high < low:
+            return 0.0
+        return max(0.0, self.fraction_le(high) - self.fraction_lt(low))

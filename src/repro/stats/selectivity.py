@@ -1,0 +1,215 @@
+"""Selectivity estimation.
+
+This estimator deliberately reproduces the assumptions the paper blames for
+sub-optimal plans (Section 1 and Section 6):
+
+* **Independence** — a conjunction's selectivity is the product of its
+  conjuncts'.  On correlated columns (the DMV workload) this produces severe
+  under-estimates.
+* **Default selectivities for parameter markers** — when a predicate contains
+  a ``?`` marker the estimator returns a fixed constant, exactly the
+  mechanism Section 5.1 uses to create controlled errors on TPC-H Q10.
+* **Uniformity within histogram buckets** and **inclusion for joins**
+  (join selectivity ``1 / max(ndv_left, ndv_right)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.expr.predicates import (
+    Between,
+    Comparison,
+    InList,
+    IsNull,
+    JoinPredicate,
+    Like,
+    Or,
+    Predicate,
+)
+from repro.stats.column_stats import ColumnStatistics
+from repro.stats.table_stats import TableStatistics
+
+
+@dataclass(frozen=True)
+class DefaultSelectivities:
+    """Constants used when a value is unknown at optimization time
+    (parameter markers) or statistics are missing."""
+
+    equality: float = 0.04
+    range: float = 1.0 / 3.0
+    between: float = 0.1
+    like: float = 0.1
+    in_list_element: float = 0.04
+    join: float = 0.1
+
+
+DEFAULTS = DefaultSelectivities()
+
+
+def _clamp(s: float) -> float:
+    return min(1.0, max(1e-9, s))
+
+
+def _equality_selectivity(stats: Optional[ColumnStatistics], value) -> float:
+    if stats is None or stats.non_null_count == 0:
+        return DEFAULTS.equality
+    exact = stats.mcv_count_for(value)
+    if exact is not None:
+        return _clamp(exact / stats.row_count)
+    if stats.histogram is not None:
+        frac = stats.histogram.fraction_eq(value)
+        if frac > 0.0:
+            return _clamp(frac * (1.0 - stats.null_fraction))
+    if stats.ndv > 0:
+        return _clamp((1.0 - stats.null_fraction) / stats.ndv)
+    return DEFAULTS.equality
+
+
+def _range_selectivity(stats: Optional[ColumnStatistics], op: str, value) -> float:
+    if stats is None or stats.histogram is None or stats.non_null_count == 0:
+        return DEFAULTS.range
+    hist = stats.histogram
+    try:
+        if op == "<":
+            frac = hist.fraction_lt(value)
+        elif op == "<=":
+            frac = hist.fraction_le(value)
+        elif op == ">":
+            frac = 1.0 - hist.fraction_le(value)
+        elif op == ">=":
+            frac = 1.0 - hist.fraction_lt(value)
+        else:  # pragma: no cover - guarded by caller
+            return DEFAULTS.range
+    except TypeError:
+        # Incomparable value (e.g. string vs numeric histogram).
+        return DEFAULTS.range
+    return _clamp(frac * (1.0 - stats.null_fraction))
+
+
+class SelectivityEstimator:
+    """Estimates predicate selectivities from table statistics."""
+
+    def __init__(self, defaults: DefaultSelectivities = DEFAULTS):
+        self.defaults = defaults
+
+    # ------------------------------------------------------------ local preds
+
+    def local_selectivity(
+        self, pred: Predicate, stats: Optional[TableStatistics]
+    ) -> float:
+        """Selectivity of a single-table predicate."""
+        if isinstance(pred, Comparison):
+            return self._comparison(pred, stats)
+        if isinstance(pred, Between):
+            return self._between(pred, stats)
+        if isinstance(pred, InList):
+            return self._in_list(pred, stats)
+        if isinstance(pred, Like):
+            return self._like(pred, stats)
+        if isinstance(pred, IsNull):
+            col = self._column_stats(stats, pred.column.column)
+            if col is None or col.row_count == 0:
+                base = 0.05  # default null fraction
+            else:
+                base = col.null_fraction
+            return _clamp(1.0 - base if pred.negated else base)
+        if isinstance(pred, Or):
+            # P(a or b) = 1 - prod(1 - s_i), assuming independence.
+            miss = 1.0
+            for child in pred.children:
+                miss *= 1.0 - self.local_selectivity(child, stats)
+            return _clamp(1.0 - miss)
+        raise ValueError(f"not a local predicate: {pred!r}")
+
+    def conjunction_selectivity(
+        self, preds, stats: Optional[TableStatistics]
+    ) -> float:
+        """Independence assumption: the product of the conjuncts."""
+        sel = 1.0
+        for pred in preds:
+            sel *= self.local_selectivity(pred, stats)
+        return _clamp(sel) if preds else 1.0
+
+    def _column_stats(
+        self, stats: Optional[TableStatistics], column: str
+    ) -> Optional[ColumnStatistics]:
+        if stats is None:
+            return None
+        return stats.column(column)
+
+    def _comparison(
+        self, pred: Comparison, stats: Optional[TableStatistics]
+    ) -> float:
+        if pred.has_marker:
+            # Value unknown at compile time: default selectivity.
+            if pred.op == "=":
+                return self.defaults.equality
+            if pred.op == "!=":
+                return _clamp(1.0 - self.defaults.equality)
+            return self.defaults.range
+        col = self._column_stats(stats, pred.column.column)
+        value = pred.operand.value  # type: ignore[union-attr]
+        if pred.op == "=":
+            return _equality_selectivity(col, value)
+        if pred.op == "!=":
+            return _clamp(1.0 - _equality_selectivity(col, value))
+        return _range_selectivity(col, pred.op, value)
+
+    def _between(self, pred: Between, stats: Optional[TableStatistics]) -> float:
+        if pred.has_marker:
+            return self.defaults.between
+        col = self._column_stats(stats, pred.column.column)
+        if col is None or col.histogram is None:
+            return self.defaults.between
+        low = pred.low.value  # type: ignore[union-attr]
+        high = pred.high.value  # type: ignore[union-attr]
+        try:
+            frac = col.histogram.fraction_between(low, high)
+        except TypeError:
+            return self.defaults.between
+        return _clamp(frac * (1.0 - col.null_fraction))
+
+    def _in_list(self, pred: InList, stats: Optional[TableStatistics]) -> float:
+        col = self._column_stats(stats, pred.column.column)
+        total = 0.0
+        for value in pred.values:
+            total += _equality_selectivity(col, value)
+        return _clamp(total)
+
+    def _like(self, pred: Like, stats: Optional[TableStatistics]) -> float:
+        col = self._column_stats(stats, pred.column.column)
+        if col is None or not col.mcvs:
+            return self.defaults.like
+        # Estimate from MCVs: exact for tracked values, default for the rest.
+        from repro.expr.evaluate import like_to_regex
+
+        regex = like_to_regex(pred.pattern)
+        matching = sum(
+            count for value, count in col.mcvs
+            if isinstance(value, str) and regex.match(value)
+        )
+        rest_fraction = max(0.0, 1.0 - col.mcv_total / max(1, col.row_count))
+        estimate = matching / max(1, col.row_count) + rest_fraction * self.defaults.like
+        return _clamp(estimate)
+
+    # ------------------------------------------------------------- join preds
+
+    def join_selectivity(
+        self,
+        pred: JoinPredicate,
+        left_stats: Optional[TableStatistics],
+        right_stats: Optional[TableStatistics],
+    ) -> float:
+        """``1 / max(ndv_left, ndv_right)`` — the inclusion assumption."""
+        left_ndv = None
+        right_ndv = None
+        if left_stats is not None:
+            left_ndv = left_stats.ndv(pred.left.column)
+        if right_stats is not None:
+            right_ndv = right_stats.ndv(pred.right.column)
+        candidates = [n for n in (left_ndv, right_ndv) if n]
+        if not candidates:
+            return self.defaults.join
+        return _clamp(1.0 / max(candidates))

@@ -1,0 +1,28 @@
+"""Table-level statistics: row count, page count, and per-column stats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.stats.column_stats import ColumnStatistics
+
+
+@dataclass
+class TableStatistics:
+    """Everything RUNSTATS knows about a table."""
+
+    table: str
+    row_count: int
+    page_count: int
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStatistics]:
+        return self.columns.get(name)
+
+    def ndv(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        """Distinct-value count for ``name``; ``default`` when unknown."""
+        stats = self.columns.get(name)
+        if stats is None:
+            return default
+        return stats.ndv

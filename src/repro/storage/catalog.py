@@ -1,0 +1,178 @@
+"""The catalog: tables, indexes, statistics, and temporary materialized views.
+
+The catalog is the single registry both the optimizer and the executor consult.
+Temporary materialized views (temp MVs) are how POP exposes intermediate
+results of a partially executed query to the re-optimization step (paper
+§2.3): a completed materialization point is *promoted* to a temp MV whose
+catalog statistics carry the exact observed cardinality; the optimizer then
+considers scanning it as a normal, cost-compared alternative.  Temp MVs are
+transient — :meth:`Catalog.clear_temp_mvs` removes them when the query
+finishes (the paper's "cleanup" step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import CatalogError
+from repro.storage.index import HashIndex, Index, SortedIndex
+from repro.storage.table import Schema, Table
+
+
+@dataclass
+class TempMV:
+    """A temporary materialized view promoted from an intermediate result.
+
+    ``signature`` identifies *what* the rows represent: the set of base-table
+    aliases joined, the set of predicate ids already applied, and the output
+    columns (qualified names, in row order).  MV matching during
+    re-optimization is an exact match on tables and predicates plus a
+    column-coverage check.
+    """
+
+    name: str
+    tables: frozenset
+    predicate_ids: frozenset
+    columns: tuple
+    rows: list[tuple]
+    #: Exact observed cardinality — this is the MV's "catalog statistic".
+    cardinality: int = field(init=False)
+    #: Sort order of the rows, as a tuple of qualified column names
+    #: (empty when unordered); lets re-optimization reuse a SORT output
+    #: without re-sorting.
+    order: tuple = ()
+
+    def __post_init__(self) -> None:
+        self.cardinality = len(self.rows)
+
+
+class Catalog:
+    """Registry of tables, their indexes, statistics, and temp MVs."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, Index] = {}
+        self._indexes_by_table: dict[str, list[Index]] = {}
+        # table name -> TableStatistics (duck-typed; see repro.stats)
+        self._stats: dict[str, Any] = {}
+        self._temp_mvs: dict[str, TempMV] = {}
+        self._mv_counter = 0
+
+    # ------------------------------------------------------------------ tables
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name.lower(), schema)
+        self._tables[key] = table
+        self._indexes_by_table[key] = []
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no table named {name!r}")
+        del self._tables[key]
+        for index in self._indexes_by_table.pop(key, []):
+            self._indexes.pop(index.name, None)
+        self._stats.pop(key, None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"no table named {name!r}") from exc
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    # ----------------------------------------------------------------- indexes
+
+    def create_index(
+        self, name: str, table_name: str, column: str, kind: str = "sorted"
+    ) -> Index:
+        """Create a ``"hash"`` or ``"sorted"`` index on ``table.column``."""
+        key = name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.table(table_name)
+        if kind == "hash":
+            index: Index = HashIndex(key, table, column)
+        elif kind == "sorted":
+            index = SortedIndex(key, table, column)
+        else:
+            raise CatalogError(f"unknown index kind {kind!r}")
+        self._indexes[key] = index
+        self._indexes_by_table[table.name].append(index)
+        return index
+
+    def indexes_on(self, table_name: str) -> list[Index]:
+        return list(self._indexes_by_table.get(table_name.lower(), []))
+
+    def index_on_column(self, table_name: str, column: str) -> Optional[Index]:
+        """An index whose key is exactly ``column`` (sorted preferred), or None."""
+        candidates = [
+            ix for ix in self.indexes_on(table_name) if ix.column == column
+        ]
+        if not candidates:
+            return None
+        for ix in candidates:
+            if ix.supports_range:
+                return ix
+        return candidates[0]
+
+    def rebuild_indexes(self, table_name: str) -> None:
+        """Rebuild all indexes of a table after a bulk load."""
+        for index in self.indexes_on(table_name):
+            index.rebuild()
+
+    # ------------------------------------------------------------- statistics
+
+    def set_statistics(self, table_name: str, stats: Any) -> None:
+        self.table(table_name)  # validate existence
+        self._stats[table_name.lower()] = stats
+
+    def statistics(self, table_name: str) -> Any:
+        """Statistics for a table, or ``None`` when RUNSTATS never ran."""
+        return self._stats.get(table_name.lower())
+
+    # ---------------------------------------------------------------- temp MVs
+
+    def register_temp_mv(
+        self,
+        tables: frozenset,
+        predicate_ids: frozenset,
+        columns: tuple,
+        rows: list[tuple],
+        order: tuple = (),
+    ) -> TempMV:
+        """Promote an intermediate result to a temp MV (paper §2.3)."""
+        self._mv_counter += 1
+        mv = TempMV(
+            name=f"__tempmv_{self._mv_counter}",
+            tables=tables,
+            predicate_ids=predicate_ids,
+            columns=columns,
+            rows=rows,
+            order=order,
+        )
+        self._temp_mvs[mv.name] = mv
+        return mv
+
+    def temp_mvs(self) -> list[TempMV]:
+        return list(self._temp_mvs.values())
+
+    def temp_mv(self, name: str) -> TempMV:
+        try:
+            return self._temp_mvs[name]
+        except KeyError as exc:
+            raise CatalogError(f"no temp MV named {name!r}") from exc
+
+    def clear_temp_mvs(self) -> None:
+        """The cleanup step: drop all temp MVs after query completion."""
+        self._temp_mvs.clear()

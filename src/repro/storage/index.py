@@ -1,0 +1,125 @@
+"""Secondary indexes over tables.
+
+Two index kinds are modeled:
+
+* :class:`HashIndex` — equality lookups, O(1) probe; used by the executor for
+  hash-based index nested-loop joins and point predicates.
+* :class:`SortedIndex` — a sorted ``(key, rid)`` array probed with binary
+  search; supports range scans and provides an ordering (making index scans a
+  source of *interesting orders* for the optimizer, as in System R).
+
+Both index kinds ignore NULL keys, matching SQL semantics where ``col = x``
+never matches NULL.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator
+
+from repro.storage.table import Table
+
+
+class Index:
+    """Common interface of both index kinds."""
+
+    #: set by subclasses
+    supports_range = False
+
+    def __init__(self, name: str, table: Table, column: str):
+        self.name = name
+        self.table = table
+        self.column = column
+        self._col_pos = table.schema.index_of(column)
+
+    def rebuild(self) -> None:
+        raise NotImplementedError
+
+    def lookup(self, key: Any) -> list[int]:
+        """Rids of rows whose indexed column equals ``key``."""
+        raise NotImplementedError
+
+    @property
+    def leaf_pages(self) -> int:
+        """Modeled number of leaf pages (for probe costing)."""
+        entries_per_page = 256
+        return max(1, -(-self.table.row_count // entries_per_page))
+
+
+class HashIndex(Index):
+    """Equality-only index: key -> list of rids."""
+
+    def __init__(self, name: str, table: Table, column: str):
+        super().__init__(name, table, column)
+        self._buckets: dict[Any, list[int]] = {}
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        self._buckets = {}
+        pos = self._col_pos
+        for rid, row in enumerate(self.table.rows):
+            key = row[pos]
+            if key is None:
+                continue
+            self._buckets.setdefault(key, []).append(rid)
+
+    def lookup(self, key: Any) -> list[int]:
+        if key is None:
+            return []
+        return self._buckets.get(key, [])
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+
+class SortedIndex(Index):
+    """Sorted-array index supporting equality and range probes."""
+
+    supports_range = True
+
+    def __init__(self, name: str, table: Table, column: str):
+        super().__init__(name, table, column)
+        self._keys: list[Any] = []
+        self._rids: list[int] = []
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        pos = self._col_pos
+        pairs = sorted(
+            (row[pos], rid)
+            for rid, row in enumerate(self.table.rows)
+            if row[pos] is not None
+        )
+        self._keys = [k for k, _ in pairs]
+        self._rids = [r for _, r in pairs]
+
+    def lookup(self, key: Any) -> list[int]:
+        if key is None:
+            return []
+        lo = bisect_left(self._keys, key)
+        hi = bisect_right(self._keys, key)
+        return self._rids[lo:hi]
+
+    def range_scan(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Yield rids with keys in the given (possibly open-ended) range,
+        in key order."""
+        lo = 0
+        hi = len(self._keys)
+        if low is not None:
+            lo = bisect_left(self._keys, low) if low_inclusive else bisect_right(self._keys, low)
+        if high is not None:
+            hi = bisect_right(self._keys, high) if high_inclusive else bisect_left(self._keys, high)
+        for i in range(lo, hi):
+            yield self._rids[i]
+
+    def min_key(self) -> Any:
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> Any:
+        return self._keys[-1] if self._keys else None

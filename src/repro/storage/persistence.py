@@ -1,0 +1,92 @@
+"""Saving and loading databases.
+
+A database directory contains ``schema.json`` (tables, column types, index
+definitions) and one JSON-lines file per table under ``data/``.  All value
+types round-trip exactly: INT/FLOAT/STR natively, DATE as its day number,
+NULL as JSON ``null``.  Statistics are re-collected on load (they derive
+from the data).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.common.errors import ReproError
+from repro.core.database import Database
+
+_SCHEMA_FILE = "schema.json"
+_DATA_DIR = "data"
+_FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """The on-disk database is missing or malformed."""
+
+
+def save_database(db: Database, path: str) -> None:
+    """Write ``db``'s schema, indexes, and data under directory ``path``."""
+    os.makedirs(os.path.join(path, _DATA_DIR), exist_ok=True)
+    schema = {
+        "version": _FORMAT_VERSION,
+        "tables": {
+            table.name: [[c.name, c.dtype.value] for c in table.schema]
+            for table in db.catalog.tables()
+        },
+        "indexes": [
+            {
+                "name": index.name,
+                "table": index.table.name,
+                "column": index.column,
+                "kind": "sorted" if index.supports_range else "hash",
+            }
+            for table in db.catalog.tables()
+            for index in db.catalog.indexes_on(table.name)
+        ],
+    }
+    with open(os.path.join(path, _SCHEMA_FILE), "w") as f:
+        json.dump(schema, f, indent=2, sort_keys=True)
+    for table in db.catalog.tables():
+        file_path = os.path.join(path, _DATA_DIR, f"{table.name}.jsonl")
+        with open(file_path, "w") as f:
+            for row in table.rows:
+                f.write(json.dumps(list(row)) + "\n")
+
+
+def load_database(
+    path: str,
+    runstats: bool = True,
+    db: Optional[Database] = None,
+    **db_kwargs,
+) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    schema_path = os.path.join(path, _SCHEMA_FILE)
+    if not os.path.exists(schema_path):
+        raise PersistenceError(f"no database found at {path!r}")
+    with open(schema_path) as f:
+        schema = json.load(f)
+    version = schema.get("version")
+    if version != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported database format version {version!r}"
+        )
+    database = db if db is not None else Database(**db_kwargs)
+    for table_name, columns in schema["tables"].items():
+        database.create_table(table_name, [tuple(c) for c in columns])
+        file_path = os.path.join(path, _DATA_DIR, f"{table_name}.jsonl")
+        if not os.path.exists(file_path):
+            raise PersistenceError(f"missing data file for table {table_name!r}")
+        rows = []
+        with open(file_path) as f:
+            for line in f:
+                if line.strip():
+                    rows.append(tuple(json.loads(line)))
+        database.catalog.table(table_name).load_raw(rows)
+    for index in schema.get("indexes", []):
+        database.create_index(
+            index["name"], index["table"], index["column"], index["kind"]
+        )
+    if runstats:
+        database.runstats()
+    return database

@@ -1,0 +1,46 @@
+"""Shared data-generation utilities for the workload generators."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.common.rng import WeightedChooser, zipf_weights
+
+
+def zipf_values(
+    rng: random.Random, population: Sequence, count: int, skew: float
+) -> list:
+    """``count`` draws from ``population`` with Zipf-distributed frequencies
+    (first element most frequent)."""
+    chooser = WeightedChooser(population, zipf_weights(len(population), skew))
+    return [chooser.choose(rng) for _ in range(count)]
+
+
+def correlated_pick(
+    rng: random.Random,
+    primary_value,
+    mapping: dict,
+    fallback: Sequence,
+    fidelity: float,
+):
+    """Pick a value correlated with ``primary_value``.
+
+    With probability ``fidelity`` the value comes from
+    ``mapping[primary_value]`` (a sequence of preferred values); otherwise it
+    is uniform over ``fallback``.  This is how the DMV generator builds the
+    MAKE↔COLOR, ZIP↔ZIP, AGE↔MAKE correlations that break the optimizer's
+    independence assumption.
+    """
+    preferred = mapping.get(primary_value)
+    if preferred and rng.random() < fidelity:
+        return rng.choice(preferred)
+    return rng.choice(list(fallback))
+
+
+def date_string(rng: random.Random, start_year: int, end_year: int) -> str:
+    """A uniform ISO date between Jan 1 of start_year and Dec 28 of end_year."""
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"

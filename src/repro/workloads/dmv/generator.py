@@ -1,0 +1,195 @@
+"""Generator for the correlated DMV database (paper §6 case study)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.rng import WeightedChooser, zipf_weights
+from repro.core.database import Database
+from repro.workloads.dmv import schema as s
+
+
+@dataclass(frozen=True)
+class DmvScale:
+    """Row counts (default is ~1/300 of the paper's 8M-row CAR table,
+    preserving the CAR:OWNER ratio and the per-car fan-outs)."""
+
+    owners: int = 18_000
+    cars: int = 24_000
+    accidents: int = 5_000
+    violations: int = 8_000
+    insurance: int = 24_000
+    dealers: int = 1_000
+    inspections: int = 16_000
+    registrations: int = 24_000
+
+
+def generate_dmv(
+    scale: DmvScale = DmvScale(), seed: int = 7
+) -> dict[str, list[tuple]]:
+    """Generate the eight DMV tables with the engineered correlations."""
+    rng = random.Random(seed)
+    data: dict[str, list[tuple]] = {}
+
+    # Makes are Zipf-popular; each zip has a locally dominant make.
+    make_chooser = WeightedChooser(
+        range(len(s.MAKES)), zipf_weights(len(s.MAKES), 1.1)
+    )
+    zip_favourite_make = {
+        z: make_chooser.choose(rng) for z in range(s.ZIP_COUNT)
+    }
+    # Per-make preferred colors (3 of the 12), creating MAKE↔COLOR correlation.
+    make_colors = {
+        m: rng.sample(s.COLORS, 3) for m in range(len(s.MAKES))
+    }
+    # Per-make owner-age center, creating AGE↔MAKE correlation.
+    make_age_center = {m: rng.randint(25, 65) for m in range(len(s.MAKES))}
+
+    owners = []
+    owner_zip = []
+    for i in range(scale.owners):
+        z = rng.randrange(s.ZIP_COUNT)
+        owner_zip.append(z)
+        owners.append(
+            (
+                i,
+                f"Owner#{i:07d}",
+                rng.randint(16, 90),
+                rng.choice(s.GENDERS),
+                z,
+                s.CITIES[z % len(s.CITIES)],
+            )
+        )
+    data["owner"] = owners
+
+    cars = []
+    car_year_lo, car_year_hi = 1985, 2004
+    for i in range(scale.cars):
+        owner_id = rng.randrange(scale.owners)
+        oz = owner_zip[owner_id]
+        # ZIP↔MAKE: 70% of cars in a zip are its favourite make.
+        if rng.random() < 0.7:
+            make_idx = zip_favourite_make[oz]
+        else:
+            make_idx = make_chooser.choose(rng)
+        model_idx = rng.randrange(s.MODELS_PER_MAKE)
+        # MAKE↔COLOR: 80% of a make's cars use its preferred palette.
+        if rng.random() < 0.8:
+            color = rng.choice(make_colors[make_idx])
+        else:
+            color = rng.choice(s.COLORS)
+        # MODEL↔WEIGHT: tight band around the model's base weight.
+        weight = s.base_weight(make_idx, model_idx) + rng.randint(-40, 40)
+        # ZIP↔ZIP: a car is registered in its owner's zip 90% of the time.
+        zip_code = oz if rng.random() < 0.9 else rng.randrange(s.ZIP_COUNT)
+        cars.append(
+            (
+                i,
+                owner_id,
+                s.MAKES[make_idx],
+                s.model_name(make_idx, model_idx),
+                color,
+                weight,
+                rng.randint(car_year_lo, car_year_hi),
+                zip_code,
+            )
+        )
+        # AGE↔MAKE is imposed by re-rolling the owner age toward the make's
+        # centre (applied below after all cars are placed).
+    data["car"] = cars
+
+    # Impose AGE↔MAKE: owners of a make cluster around its age centre.
+    owner_rows = {row[0]: list(row) for row in owners}
+    for car in cars:
+        owner_id, make = car[1], car[2]
+        make_idx = s.MAKES.index(make)
+        if rng.random() < 0.75:
+            centre = make_age_center[make_idx]
+            owner_rows[owner_id][2] = max(
+                16, min(90, centre + rng.randint(-5, 5))
+            )
+    data["owner"] = [tuple(row) for row in owner_rows.values()]
+
+    data["accident"] = [
+        (
+            i,
+            (car_id := rng.randrange(scale.cars)),
+            rng.randint(1995, 2004),
+            rng.randint(1, 5),
+            cars[car_id][7],
+        )
+        for i in range(scale.accidents)
+    ]
+    data["violation"] = [
+        (
+            i,
+            rng.randrange(scale.cars),
+            rng.randint(1995, 2004),
+            rng.choice(s.VIOLATION_TYPES),
+            round(rng.uniform(20.0, 2000.0), 2),
+        )
+        for i in range(scale.violations)
+    ]
+    data["insurance"] = [
+        (
+            i,
+            i % scale.cars,  # every car insured once (plus extras)
+            rng.choice(s.INSURANCE_COMPANIES),
+            round(rng.uniform(300.0, 3000.0), 2),
+            rng.randint(2000, 2004),
+        )
+        for i in range(scale.insurance)
+    ]
+    data["dealer"] = [
+        (
+            i,
+            s.MAKES[make_chooser.choose(rng)],
+            rng.randrange(s.ZIP_COUNT),
+            f"Dealer#{i:04d}",
+        )
+        for i in range(scale.dealers)
+    ]
+    data["inspection"] = [
+        (
+            i,
+            rng.randrange(scale.cars),
+            rng.randint(2000, 2004),
+            "PASS" if rng.random() < 0.85 else "FAIL",
+        )
+        for i in range(scale.inspections)
+    ]
+    data["registration"] = [
+        (
+            i,
+            i % scale.cars,
+            rng.randint(2000, 2004),
+            round(rng.uniform(20.0, 300.0), 2),
+        )
+        for i in range(scale.registrations)
+    ]
+    return data
+
+
+def load_dmv(
+    db: Database, scale: DmvScale = DmvScale(), seed: int = 7
+) -> dict[str, int]:
+    """Create the DMV schema, load data, build indexes, RUNSTATS."""
+    data = generate_dmv(scale, seed)
+    for table, columns in s.DMV_TABLES.items():
+        db.create_table(table, columns)
+        db.catalog.table(table).load_raw(data[table])
+    for name, table, column, kind in s.DMV_INDEXES:
+        db.create_index(name, table, column, kind)
+    # Coarser statistics than the TPC-H setup: the paper's 2004-era DMV
+    # installation had quantile statistics but no per-value frequencies for
+    # the long tail, which is what lets correlation errors through.
+    db.runstats(num_buckets=8, num_mcvs=2)
+    return {table: len(rows) for table, rows in data.items()}
+
+
+def make_dmv_db(scale: DmvScale = DmvScale(), seed: int = 7, **db_kwargs) -> Database:
+    """Convenience: a fresh database pre-loaded with DMV data."""
+    db = Database(**db_kwargs)
+    load_dmv(db, scale, seed)
+    return db

@@ -1,0 +1,245 @@
+"""The 39 DMV-style decision-support queries (paper §6).
+
+The paper used 39 proprietary customer queries "joining more than 10 tables
+in average" whose predicates restrict correlated columns, use LIKE patterns
+and IN-lists — all sources of cardinality misestimation.  This module
+deterministically instantiates 39 queries from 13 templates × 3 parameter
+sets over the synthetic DMV schema.  Every template restricts correlated
+columns (MAKE↔MODEL↔COLOR, MODEL↔WEIGHT, ZIP↔ZIP, AGE↔MAKE), so the
+independence-assuming estimator under-estimates by one to four orders of
+magnitude, exactly the failure mode POP repairs.  Join widths are 2–7
+tables (scaled down with the data; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.dmv import schema as s
+
+
+def _instantiations(seed: int = 2004) -> list[dict]:
+    """Three deterministic parameter sets shared by all templates.
+
+    The make indices target the *popular* end of the Zipf make distribution
+    (as real workloads do — people query the cars that exist), which is what
+    turns the independence-assumption under-estimates into large absolute
+    cardinality errors.
+    """
+    rng = random.Random(seed)
+    sets = []
+    for make_idx in (0, 1, 2):
+        model_idx = rng.randrange(s.MODELS_PER_MAKE)
+        weight = s.base_weight(make_idx, model_idx)
+        sets.append(
+            {
+                "make": s.MAKES[make_idx],
+                "make2": s.MAKES[(make_idx + 3) % len(s.MAKES)],
+                "make3": s.MAKES[(make_idx + 7) % len(s.MAKES)],
+                "model": s.model_name(make_idx, model_idx),
+                "model_prefix": f"MODEL{make_idx:02d}",
+                "color": rng.choice(s.COLORS),
+                "wlo": weight - 60,
+                "whi": weight + 60,
+                "zip": rng.randrange(s.ZIP_COUNT),
+                "age_lo": rng.randint(20, 55),
+                "year": rng.randint(1996, 2003),
+                "city": s.CITIES[rng.randrange(len(s.CITIES))],
+            }
+        )
+    return sets
+
+
+_TEMPLATES: list[tuple[str, str]] = [
+    # T1: MAKE+MODEL (functional dependency) + owner join.
+    (
+        "make_model_owner",
+        """
+        SELECT o.o_id, o.o_name
+        FROM car c, owner o
+        WHERE c.c_owner_id = o.o_id
+          AND c.c_make = '{make}' AND c.c_model = '{model}'
+        """,
+    ),
+    # T2: MAKE+MODEL+COLOR (three-way correlation) + accidents.
+    (
+        "make_model_color_accidents",
+        """
+        SELECT count(*) AS accidents
+        FROM car c, accident a
+        WHERE a.a_car_id = c.c_id
+          AND c.c_make = '{make}' AND c.c_model = '{model}'
+          AND c.c_color = '{color}'
+        """,
+    ),
+    # T3: MODEL + WEIGHT band (weight is determined by the model).
+    (
+        "model_weight_violations",
+        """
+        SELECT v.v_type, count(*) AS n, sum(v.v_fine) AS fines
+        FROM car c, violation v
+        WHERE v.v_car_id = c.c_id
+          AND c.c_model = '{model}'
+          AND c.c_weight BETWEEN {wlo} AND {whi}
+        GROUP BY v.v_type
+        ORDER BY fines DESC, v.v_type
+        """,
+    ),
+    # T4: like T10 but with the large INSPECTION table as the unindexed-key
+    # join partner — the worst of the catastrophic cases (paper: "without
+    # POP the longest query took more than 20 minutes").
+    (
+        "zip_inspection_rescan",
+        """
+        SELECT p.p_result, count(*) AS n
+        FROM car c, owner o, inspection p
+        WHERE c.c_owner_id = o.o_id
+          AND c.c_zip = o.o_zip
+          AND p.p_year = c.c_year
+          AND c.c_make = '{make}' AND c.c_model = '{model}'
+        GROUP BY p.p_result
+        ORDER BY n DESC
+        """,
+    ),
+    # T5: AGE↔MAKE correlation + insurance premiums.
+    (
+        "age_make_premiums",
+        """
+        SELECT i.i_company, avg(i.i_premium) AS avg_premium, count(*) AS n
+        FROM car c, owner o, insurance i
+        WHERE c.c_owner_id = o.o_id AND i.i_car_id = c.c_id
+          AND c.c_make = '{make}'
+          AND o.o_age BETWEEN {age_lo} AND {age_hi}
+        GROUP BY i.i_company
+        ORDER BY avg_premium DESC, i.i_company
+        """,
+    ),
+    # T6: LIKE prefix on model (all models of one make) + dealers of the make.
+    (
+        "model_like_dealers",
+        """
+        SELECT d.d_name, count(*) AS cars
+        FROM car c, dealer d
+        WHERE d.d_make = c.c_make
+          AND c.c_model LIKE '{model_prefix}%'
+          AND d.d_zip = {zip}
+        GROUP BY d.d_name
+        ORDER BY cars DESC, d.d_name
+        """,
+    ),
+    # T7: IN-list of makes + color + owner city.
+    (
+        "make_inlist_city",
+        """
+        SELECT count(*) AS n
+        FROM car c, owner o
+        WHERE c.c_owner_id = o.o_id
+          AND c.c_make IN ('{make}', '{make2}', '{make3}')
+          AND c.c_color = '{color}'
+          AND o.o_city = '{city}'
+        """,
+    ),
+    # T8: wide join — car, owner, accident, violation (4 tables).
+    (
+        "accident_violation_wide",
+        """
+        SELECT o.o_id, count(*) AS events
+        FROM car c, owner o, accident a, violation v
+        WHERE c.c_owner_id = o.o_id
+          AND a.a_car_id = c.c_id AND v.v_car_id = c.c_id
+          AND c.c_make = '{make}' AND c.c_model = '{model}'
+        GROUP BY o.o_id
+        ORDER BY events DESC, o.o_id
+        LIMIT 20
+        """,
+    ),
+    # T9: five-table star around CAR with correlated restriction.
+    (
+        "five_table_star",
+        """
+        SELECT i.i_company, sum(i.i_premium) AS premiums, count(*) AS n
+        FROM car c, insurance i, inspection p, registration g
+        WHERE i.i_car_id = c.c_id AND p.p_car_id = c.c_id
+          AND g.g_car_id = c.c_id
+          AND c.c_make = '{make}' AND c.c_color = '{color}'
+          AND p.p_result = 'FAIL'
+        GROUP BY i.i_company
+        ORDER BY premiums DESC, i.i_company
+        """,
+    ),
+    # T10: the catastrophic case.  The ZIP↔ZIP correlation makes the
+    # (car ⋈ owner) outer ~300× larger than estimated, and the accident
+    # join key (a_zip) has no index, so the optimizer picks a rescan nested
+    # loop that looks nearly free and is ruinous at the actual cardinality.
+    (
+        "zip_accident_rescan",
+        """
+        SELECT o.o_city, count(*) AS n
+        FROM car c, owner o, accident a
+        WHERE c.c_owner_id = o.o_id
+          AND c.c_zip = o.o_zip
+          AND a.a_zip = o.o_zip
+          AND c.c_make = '{make}' AND c.c_model = '{model}'
+        GROUP BY o.o_city
+        ORDER BY n DESC, o.o_city
+        LIMIT 10
+        """,
+    ),
+    # T11: six tables, correlated car predicates feeding a deep join tree.
+    (
+        "six_table_deep",
+        """
+        SELECT o.o_city, count(*) AS n, sum(v.v_fine) AS fines
+        FROM car c, owner o, violation v, insurance i, registration g
+        WHERE c.c_owner_id = o.o_id AND v.v_car_id = c.c_id
+          AND i.i_car_id = c.c_id AND g.g_car_id = c.c_id
+          AND c.c_make = '{make}' AND c.c_model LIKE '{model_prefix}%'
+          AND c.c_weight BETWEEN {wlo} AND {whi}
+        GROUP BY o.o_city
+        ORDER BY fines DESC, o.o_city
+        """,
+    ),
+    # T12: make fan-out — a misestimated filtered CAR outer drives an index
+    # NLJN into the dealers of the same make (dozens of matches per probe).
+    (
+        "make_fanout_dealers",
+        """
+        SELECT d.d_name, count(*) AS cars, sum(g.g_fee) AS fees
+        FROM car c, registration g, dealer d
+        WHERE g.g_car_id = c.c_id
+          AND d.d_make = c.c_make
+          AND c.c_model = '{model}'
+          AND c.c_weight BETWEEN {wlo} AND {whi}
+        GROUP BY d.d_name
+        ORDER BY fees DESC, d.d_name
+        LIMIT 10
+        """,
+    ),
+    # T13: seven tables — the widest join in the workload.
+    (
+        "seven_table_audit",
+        """
+        SELECT o.o_id, count(*) AS records
+        FROM car c, owner o, accident a, violation v, insurance i, inspection p
+        WHERE c.c_owner_id = o.o_id
+          AND a.a_car_id = c.c_id AND v.v_car_id = c.c_id
+          AND i.i_car_id = c.c_id AND p.p_car_id = c.c_id
+          AND c.c_make = '{make}' AND c.c_color = '{color}'
+          AND o.o_age >= {age_lo}
+        GROUP BY o.o_id
+        ORDER BY records DESC, o.o_id
+        LIMIT 10
+        """,
+    ),
+]
+
+
+def dmv_queries(seed: int = 2004) -> list[tuple[str, str]]:
+    """The 39 (name, sql) pairs: 13 templates × 3 instantiations."""
+    queries: list[tuple[str, str]] = []
+    for i, params in enumerate(_instantiations(seed)):
+        params = dict(params)
+        params["age_hi"] = params["age_lo"] + 12
+        for template_name, sql in _TEMPLATES:
+            queries.append((f"{template_name}_{i}", sql.format(**params)))
+    return queries

@@ -1,0 +1,117 @@
+"""DMV-style schema with engineered correlations (paper §6).
+
+The paper's case study ran on a department-of-motor-vehicles database whose
+CAR table carries strong column correlations (MAKE↔MODEL↔COLOR,
+MODEL↔WEIGHT) and cross-table correlations (ZIP↔MAKE, AGE↔MAKE between CAR
+and OWNER).  Those correlations break the optimizer's independence
+assumption and cause cardinality under-estimates of many orders of
+magnitude, which POP corrects at runtime.
+
+This synthetic replica implements the same correlation structure:
+
+* ``model`` functionally determines ``make`` (each model belongs to one make);
+* ``color`` is drawn from a per-make preferred palette with high fidelity;
+* ``weight`` is the model's base weight ± small noise;
+* a car's ``zip`` equals its owner's ``zip`` with high fidelity, and makes
+  cluster geographically (``zip`` range ↔ popular make);
+* owner ``age`` correlates with make (certain makes skew young/old).
+"""
+
+from __future__ import annotations
+
+#: (table, [(column, type), ...])
+DMV_TABLES: dict[str, list[tuple[str, str]]] = {
+    "owner": [
+        ("o_id", "int"),
+        ("o_name", "str"),
+        ("o_age", "int"),
+        ("o_gender", "str"),
+        ("o_zip", "int"),
+        ("o_city", "str"),
+    ],
+    "car": [
+        ("c_id", "int"),
+        ("c_owner_id", "int"),
+        ("c_make", "str"),
+        ("c_model", "str"),
+        ("c_color", "str"),
+        ("c_weight", "int"),
+        ("c_year", "int"),
+        ("c_zip", "int"),
+    ],
+    "accident": [
+        ("a_id", "int"),
+        ("a_car_id", "int"),
+        ("a_year", "int"),
+        ("a_severity", "int"),
+        ("a_zip", "int"),
+    ],
+    "violation": [
+        ("v_id", "int"),
+        ("v_car_id", "int"),
+        ("v_year", "int"),
+        ("v_type", "str"),
+        ("v_fine", "float"),
+    ],
+    "insurance": [
+        ("i_id", "int"),
+        ("i_car_id", "int"),
+        ("i_company", "str"),
+        ("i_premium", "float"),
+        ("i_year", "int"),
+    ],
+    "dealer": [
+        ("d_id", "int"),
+        ("d_make", "str"),
+        ("d_zip", "int"),
+        ("d_name", "str"),
+    ],
+    "inspection": [
+        ("p_id", "int"),
+        ("p_car_id", "int"),
+        ("p_year", "int"),
+        ("p_result", "str"),
+    ],
+    "registration": [
+        ("g_id", "int"),
+        ("g_car_id", "int"),
+        ("g_year", "int"),
+        ("g_fee", "float"),
+    ],
+}
+
+DMV_INDEXES: list[tuple[str, str, str, str]] = [
+    ("ix_owner_pk", "owner", "o_id", "sorted"),
+    ("ix_owner_zip", "owner", "o_zip", "sorted"),
+    ("ix_car_pk", "car", "c_id", "sorted"),
+    ("ix_car_owner", "car", "c_owner_id", "sorted"),
+    ("ix_car_zip", "car", "c_zip", "sorted"),
+    ("ix_car_make", "car", "c_make", "hash"),
+    ("ix_accident_car", "accident", "a_car_id", "sorted"),
+    ("ix_violation_car", "violation", "v_car_id", "sorted"),
+    ("ix_insurance_car", "insurance", "i_car_id", "sorted"),
+    ("ix_dealer_make", "dealer", "d_make", "hash"),
+    ("ix_inspection_car", "inspection", "p_car_id", "sorted"),
+    ("ix_registration_car", "registration", "g_car_id", "sorted"),
+]
+
+MAKES = [f"MAKE{i:02d}" for i in range(20)]
+MODELS_PER_MAKE = 10
+COLORS = [
+    "black", "white", "silver", "grey", "red", "blue", "green",
+    "yellow", "orange", "brown", "purple", "gold",
+]
+VIOLATION_TYPES = ["SPEED", "PARK", "SIGNAL", "DUI", "EQUIP", "LICENSE"]
+INSURANCE_COMPANIES = [f"INSCO{i}" for i in range(8)]
+CITIES = [f"CITY{i:02d}" for i in range(40)]
+GENDERS = ["F", "M"]
+ZIP_COUNT = 100
+
+
+def model_name(make_index: int, model_index: int) -> str:
+    return f"MODEL{make_index:02d}_{model_index}"
+
+
+def base_weight(make_index: int, model_index: int) -> int:
+    """Deterministic base weight per model: 1500..4350 lbs."""
+    return 1500 + make_index * 120 + model_index * 45

@@ -1,0 +1,228 @@
+"""TPC-H queries adapted to the engine's SQL dialect.
+
+The engine supports one SPJ + aggregation block (like the paper's
+prototype), so queries with subqueries are flattened; every adaptation is
+noted on the query.  Join predicates, base-table restrictions and the
+grouping structure — the things that determine plan shape, materialization
+points and checkpoint opportunities — are preserved.
+
+``Q10_MARKER`` is the Figure 11 experiment: Q10's LINEITEM literal replaced
+by a parameter marker (``l_shipmode = ?``), whose bind values sweep the
+actual selectivity over the Zipf-skewed shipmode domain while the optimizer
+sees only the default selectivity.
+"""
+
+from __future__ import annotations
+
+# Q1 (faithful: single-table aggregation over LINEITEM; the avg_disc /
+# count columns of the original are all expressible directly).
+Q1 = """
+SELECT l.l_returnflag, count(*) AS count_order,
+       sum(l.l_quantity) AS sum_qty,
+       sum(l.l_extendedprice) AS sum_base_price,
+       avg(l.l_quantity) AS avg_qty,
+       avg(l.l_extendedprice) AS avg_price,
+       avg(l.l_discount) AS avg_disc
+FROM lineitem l
+WHERE l.l_shipdate <= '1998-09-02'
+GROUP BY l.l_returnflag
+ORDER BY l.l_returnflag
+"""
+
+# Q6 (faithful: the forecasting-revenue-change scan; revenue =
+# extendedprice * discount is approximated by summing extendedprice over the
+# qualifying rows, since the engine has no scalar arithmetic in SELECT).
+Q6 = """
+SELECT count(*) AS qualifying, sum(l.l_extendedprice) AS revenue_base
+FROM lineitem l
+WHERE l.l_shipdate >= '1994-01-01'
+  AND l.l_shipdate < '1995-01-01'
+  AND l.l_discount BETWEEN 0.05 AND 0.07
+  AND l.l_quantity < 24
+"""
+
+# Q2 (adapted: the min-supplycost correlated subquery is dropped; the outer
+# SPJ block with its region/size/type restrictions is kept).
+Q2 = """
+SELECT su.s_name, p.p_partkey, ps.ps_supplycost
+FROM part p, partsupp ps, supplier su, nation n, region r
+WHERE p.p_partkey = ps.ps_partkey
+  AND ps.ps_suppkey = su.s_suppkey
+  AND su.s_nationkey = n.n_nationkey
+  AND n.n_regionkey = r.r_regionkey
+  AND p.p_size = 15
+  AND p.p_type LIKE '%BRASS'
+  AND r.r_name = 'EUROPE'
+ORDER BY su.s_name, p.p_partkey
+LIMIT 100
+"""
+
+# Q3 (faithful modulo the o_orderdate/o_shippriority grouping columns).
+Q3 = """
+SELECT l.l_orderkey, sum(l.l_extendedprice) AS revenue
+FROM customer c, orders o, lineitem l
+WHERE c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND c.c_mktsegment = 'BUILDING'
+  AND o.o_orderdate < '1995-03-15'
+  AND l.l_shipdate > '1995-03-15'
+GROUP BY l.l_orderkey
+ORDER BY revenue DESC, l.l_orderkey
+LIMIT 10
+"""
+
+# Q4 (adapted: EXISTS flattened to a join; the l_commitdate < l_receiptdate
+# column-to-column restriction becomes a receiptdate range).
+Q4 = """
+SELECT o.o_orderpriority, count(*) AS order_count
+FROM orders o, lineitem l
+WHERE l.l_orderkey = o.o_orderkey
+  AND o.o_orderdate >= '1993-07-01'
+  AND o.o_orderdate < '1993-10-01'
+  AND l.l_receiptdate > '1993-10-01'
+GROUP BY o.o_orderpriority
+ORDER BY o.o_orderpriority
+"""
+
+# Q5 (faithful; the local-supplier condition c_nationkey = s_nationkey is the
+# interesting cycle-forming join predicate).
+Q5 = """
+SELECT n.n_name, sum(l.l_extendedprice) AS revenue
+FROM customer c, orders o, lineitem l, supplier su, nation n, region r
+WHERE c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND l.l_suppkey = su.s_suppkey
+  AND c.c_nationkey = su.s_nationkey
+  AND su.s_nationkey = n.n_nationkey
+  AND n.n_regionkey = r.r_regionkey
+  AND r.r_name = 'ASIA'
+  AND o.o_orderdate >= '1994-01-01'
+  AND o.o_orderdate < '1995-01-01'
+GROUP BY n.n_name
+ORDER BY revenue DESC
+"""
+
+# Q7 (adapted: the (FRANCE,GERMANY)|(GERMANY,FRANCE) nation-pair disjunction
+# becomes per-nation IN lists; the volume/year projection is simplified).
+Q7 = """
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       sum(l.l_extendedprice) AS revenue
+FROM supplier su, lineitem l, orders o, customer c, nation n1, nation n2
+WHERE su.s_suppkey = l.l_suppkey
+  AND o.o_orderkey = l.l_orderkey
+  AND c.c_custkey = o.o_custkey
+  AND su.s_nationkey = n1.n_nationkey
+  AND c.c_nationkey = n2.n_nationkey
+  AND n1.n_name IN ('NATION03', 'NATION07')
+  AND n2.n_name IN ('NATION03', 'NATION07')
+  AND l.l_shipdate BETWEEN '1995-01-01' AND '1996-12-31'
+GROUP BY n1.n_name, n2.n_name
+ORDER BY supp_nation, cust_nation
+"""
+
+# Q8 (adapted: market-share ratio becomes total revenue per supplier nation).
+Q8 = """
+SELECT n2.n_name AS supp_nation, sum(l.l_extendedprice) AS revenue
+FROM part p, lineitem l, supplier su, orders o, customer c,
+     nation n1, nation n2, region r
+WHERE p.p_partkey = l.l_partkey
+  AND su.s_suppkey = l.l_suppkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_custkey = c.c_custkey
+  AND c.c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r.r_regionkey
+  AND su.s_nationkey = n2.n_nationkey
+  AND r.r_name = 'AMERICA'
+  AND o.o_orderdate BETWEEN '1995-01-01' AND '1996-12-31'
+  AND p.p_type = 'ECONOMY ANODIZED STEEL'
+GROUP BY n2.n_name
+ORDER BY supp_nation
+"""
+
+# Q9 (faithful modulo the o_year projection; note the two-column join
+# between partsupp and lineitem).
+Q9 = """
+SELECT n.n_name, sum(l.l_extendedprice) AS profit
+FROM part p, supplier su, lineitem l, partsupp ps, orders o, nation n
+WHERE su.s_suppkey = l.l_suppkey
+  AND ps.ps_suppkey = l.l_suppkey
+  AND ps.ps_partkey = l.l_partkey
+  AND p.p_partkey = l.l_partkey
+  AND o.o_orderkey = l.l_orderkey
+  AND su.s_nationkey = n.n_nationkey
+  AND p.p_name LIKE '%green%'
+GROUP BY n.n_name
+ORDER BY n.n_name
+"""
+
+# Q10 (faithful modulo the customer-detail projection columns).
+Q10 = """
+SELECT c.c_custkey, sum(l.l_extendedprice) AS revenue
+FROM customer c, orders o, lineitem l, nation n
+WHERE c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_orderdate >= '1993-10-01'
+  AND o.o_orderdate < '1994-01-01'
+  AND l.l_returnflag = 'R'
+  AND c.c_nationkey = n.n_nationkey
+GROUP BY c.c_custkey
+ORDER BY revenue DESC, c.c_custkey
+LIMIT 20
+"""
+
+# The Figure 11 experiment: Q10's LINEITEM literal replaced by a parameter
+# marker.  Binding the ?-marker to the Zipf-distributed shipmode values
+# sweeps the actual selectivity from ~0.3% to ~35% while the optimizer
+# compiles with the default equality selectivity.
+Q10_MARKER = """
+SELECT c.c_custkey, sum(l.l_extendedprice) AS revenue
+FROM customer c, orders o, lineitem l
+WHERE c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND l.l_shipmode = ?
+GROUP BY c.c_custkey
+ORDER BY revenue DESC, c.c_custkey
+LIMIT 20
+"""
+
+# Q11 (adapted: the group-value > fraction-of-total HAVING subquery is
+# dropped; the join/grouping structure is kept).
+Q11 = """
+SELECT ps.ps_partkey, sum(ps.ps_supplycost) AS value
+FROM partsupp ps, supplier su, nation n
+WHERE ps.ps_suppkey = su.s_suppkey
+  AND su.s_nationkey = n.n_nationkey
+  AND n.n_name = 'NATION07'
+GROUP BY ps.ps_partkey
+ORDER BY value DESC, ps.ps_partkey
+LIMIT 20
+"""
+
+# Q18 (adapted: the large-quantity IN-subquery becomes the equivalent HAVING
+# over the same grouping, which is the subquery's actual semantics).
+Q18 = """
+SELECT c.c_custkey, o.o_orderkey, sum(l.l_quantity) AS total_qty
+FROM customer c, orders o, lineitem l
+WHERE c.c_custkey = o.o_custkey
+  AND o.o_orderkey = l.l_orderkey
+GROUP BY c.c_custkey, o.o_orderkey
+HAVING total_qty > 150
+ORDER BY total_qty DESC, o.o_orderkey
+LIMIT 10
+"""
+
+#: All adapted TPC-H queries by name.
+TPCH_QUERIES: dict[str, str] = {
+    "Q1": Q1,
+    "Q6": Q6,
+    "Q2": Q2,
+    "Q3": Q3,
+    "Q4": Q4,
+    "Q5": Q5,
+    "Q7": Q7,
+    "Q8": Q8,
+    "Q9": Q9,
+    "Q10": Q10,
+    "Q11": Q11,
+    "Q18": Q18,
+}

@@ -1,0 +1,120 @@
+"""TPC-H-style schema (scaled; see DESIGN.md substitution table).
+
+Table layouts follow TPC-H closely enough that the paper's queries translate
+directly; comment-only columns are dropped to keep rows lean.  One deliberate
+addition: ``l_shipmode`` takes values from a *Zipf-skewed* domain so that
+binding a parameter marker to different literals sweeps the predicate's
+actual selectivity across two orders of magnitude — the mechanism behind the
+paper's Figure 11 experiment.
+"""
+
+from __future__ import annotations
+
+#: (table, [(column, type), ...])
+TPCH_TABLES: dict[str, list[tuple[str, str]]] = {
+    "region": [
+        ("r_regionkey", "int"),
+        ("r_name", "str"),
+    ],
+    "nation": [
+        ("n_nationkey", "int"),
+        ("n_name", "str"),
+        ("n_regionkey", "int"),
+    ],
+    "supplier": [
+        ("s_suppkey", "int"),
+        ("s_name", "str"),
+        ("s_nationkey", "int"),
+        ("s_acctbal", "float"),
+    ],
+    "customer": [
+        ("c_custkey", "int"),
+        ("c_name", "str"),
+        ("c_nationkey", "int"),
+        ("c_mktsegment", "str"),
+        ("c_acctbal", "float"),
+    ],
+    "part": [
+        ("p_partkey", "int"),
+        ("p_name", "str"),
+        ("p_mfgr", "str"),
+        ("p_brand", "str"),
+        ("p_type", "str"),
+        ("p_size", "int"),
+        ("p_retailprice", "float"),
+    ],
+    "partsupp": [
+        ("ps_partkey", "int"),
+        ("ps_suppkey", "int"),
+        ("ps_supplycost", "float"),
+        ("ps_availqty", "int"),
+    ],
+    "orders": [
+        ("o_orderkey", "int"),
+        ("o_custkey", "int"),
+        ("o_orderstatus", "str"),
+        ("o_totalprice", "float"),
+        ("o_orderdate", "date"),
+        ("o_orderpriority", "str"),
+    ],
+    "lineitem": [
+        ("l_orderkey", "int"),
+        ("l_partkey", "int"),
+        ("l_suppkey", "int"),
+        ("l_quantity", "int"),
+        ("l_extendedprice", "float"),
+        ("l_discount", "float"),
+        ("l_returnflag", "str"),
+        ("l_shipdate", "date"),
+        ("l_commitdate", "date"),
+        ("l_receiptdate", "date"),
+        ("l_shipmode", "str"),
+    ],
+}
+
+#: (index name, table, column, kind)
+TPCH_INDEXES: list[tuple[str, str, str, str]] = [
+    ("ix_region_pk", "region", "r_regionkey", "sorted"),
+    ("ix_nation_pk", "nation", "n_nationkey", "sorted"),
+    ("ix_nation_region", "nation", "n_regionkey", "sorted"),
+    ("ix_supplier_pk", "supplier", "s_suppkey", "sorted"),
+    ("ix_supplier_nation", "supplier", "s_nationkey", "sorted"),
+    ("ix_customer_pk", "customer", "c_custkey", "sorted"),
+    ("ix_customer_nation", "customer", "c_nationkey", "sorted"),
+    ("ix_part_pk", "part", "p_partkey", "sorted"),
+    ("ix_partsupp_part", "partsupp", "ps_partkey", "sorted"),
+    ("ix_partsupp_supp", "partsupp", "ps_suppkey", "sorted"),
+    ("ix_orders_pk", "orders", "o_orderkey", "sorted"),
+    ("ix_orders_cust", "orders", "o_custkey", "sorted"),
+    ("ix_orders_date", "orders", "o_orderdate", "sorted"),
+    ("ix_lineitem_order", "lineitem", "l_orderkey", "sorted"),
+    ("ix_lineitem_part", "lineitem", "l_partkey", "sorted"),
+    ("ix_lineitem_supp", "lineitem", "l_suppkey", "sorted"),
+    ("ix_lineitem_shipdate", "lineitem", "l_shipdate", "sorted"),
+]
+
+#: Number of distinct l_shipmode values; frequencies are Zipf(skew) so that
+#: selectivities span roughly 0.2%..50% — the Figure 11 sweep range.
+SHIPMODE_COUNT = 28
+SHIPMODE_SKEW = 1.8
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+RETURN_FLAGS = ["N", "R", "A"]
+ORDER_STATUS = ["O", "F", "P"]
+PART_TYPE_ADJ = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+PART_TYPE_MAT = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+PART_TYPE_FIN = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+PART_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+]
+
+
+def shipmodes() -> list[str]:
+    """The skewed shipmode domain, most frequent first."""
+    return [f"MODE{i:02d}" for i in range(SHIPMODE_COUNT)]

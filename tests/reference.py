@@ -1,0 +1,112 @@
+"""A brute-force reference evaluator used as a correctness oracle.
+
+Evaluates a logical :class:`~repro.plan.logical.Query` by materializing the
+full cross product of the FROM tables (filtered early per table for
+tractability), applying all predicates, then grouping/ordering/limiting.
+Deliberately simple and obviously correct — every integration and property
+test compares the engine's output against this.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Optional
+
+from repro.expr.evaluate import RowLayout, compile_conjunction
+from repro.plan.logical import Aggregate, Query
+from repro.storage.catalog import Catalog
+
+
+def _table_rows(catalog: Catalog, query: Query, alias: str, params) -> list[tuple]:
+    ref = query.table_for(alias)
+    table = catalog.table(ref.table)
+    layout = RowLayout([f"{alias}.{c}" for c in table.schema.names()])
+    pred = compile_conjunction(
+        query.local_predicates_for(alias), layout, params or {}
+    )
+    return [row for row in table.rows if pred(row)]
+
+
+def evaluate_reference(
+    catalog: Catalog, query: Query, params: Optional[dict[str, Any]] = None
+) -> list[tuple]:
+    """Evaluate ``query`` naively; returns rows in final (ordered) form."""
+    params = params or {}
+    aliases = query.aliases
+    layouts: list[list[str]] = []
+    filtered: list[list[tuple]] = []
+    for alias in aliases:
+        table = catalog.table(query.table_for(alias).table)
+        layouts.append([f"{alias}.{c}" for c in table.schema.names()])
+        filtered.append(_table_rows(catalog, query, alias, params))
+
+    joined_layout = RowLayout([c for cols in layouts for c in cols])
+    join_pred = compile_conjunction(query.join_predicates, joined_layout, params)
+    joined = [
+        sum(combo, ())
+        for combo in product(*filtered)
+        if join_pred(sum(combo, ()))
+    ]
+
+    if query.has_aggregates:
+        rows = _aggregate(query, joined_layout, joined)
+    else:
+        slots = [joined_layout.slot(c.qualified) for c in query.select]  # type: ignore[union-attr]
+        rows = [tuple(row[s] for s in slots) for row in joined]
+        if query.distinct:
+            seen = set()
+            deduped = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+            rows = deduped
+
+    if query.order_by:
+        out_names = query.output_names
+        for item in reversed(query.order_by):
+            slot = out_names.index(item.column)
+            rows.sort(
+                key=lambda r, s=slot: (r[s] is None, r[s]),
+                reverse=not item.ascending,
+            )
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+def _aggregate(query: Query, layout: RowLayout, joined: list[tuple]) -> list[tuple]:
+    key_slots = [layout.slot(k.qualified) for k in query.group_by]
+    groups: dict[tuple, list[tuple]] = {}
+    for row in joined:
+        groups.setdefault(tuple(row[s] for s in key_slots), []).append(row)
+    if not groups and not query.group_by:
+        groups[()] = []
+    results = []
+    for key, rows in groups.items():
+        values: list[Any] = []
+        for item in query.select:
+            if not isinstance(item, Aggregate):
+                values.append(key[ [k.qualified for k in query.group_by].index(item.qualified) ])
+                continue
+            if item.func == "count" and item.argument is None:
+                values.append(len(rows))
+                continue
+            slot = layout.slot(item.argument.qualified)  # type: ignore[union-attr]
+            data = [r[slot] for r in rows if r[slot] is not None]
+            if item.func == "count":
+                values.append(len(data))
+            elif not data:
+                values.append(None)
+            elif item.func == "sum":
+                values.append(sum(data))
+            elif item.func == "avg":
+                values.append(sum(data) / len(data))
+            elif item.func == "min":
+                values.append(min(data))
+            elif item.func == "max":
+                values.append(max(data))
+            else:  # pragma: no cover
+                raise AssertionError(item.func)
+        results.append(tuple(values))
+    return results

@@ -1,0 +1,78 @@
+"""Tests for EXPLAIN ANALYZE (estimated vs actual per operator)."""
+
+import pytest
+
+from repro import explain_analyze
+from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
+from repro.expr.predicates import Comparison, JoinPredicate
+from repro.plan.analyze import explain_analyze_plan
+from repro.plan.logical import Query, TableRef
+
+
+def marker_query():
+    return Query(
+        tables=[TableRef("c", "cust"), TableRef("o", "orders")],
+        select=[ColumnRef("c", "c_id"), ColumnRef("o", "o_id")],
+        local_predicates=[
+            Comparison(ColumnRef("c", "c_segment"), "=", ParameterMarker("p"))
+        ],
+        join_predicates=[
+            JoinPredicate(ColumnRef("o", "o_custkey"), ColumnRef("c", "c_id"))
+        ],
+    )
+
+
+class TestExplainAnalyze:
+    def test_completed_attempt_shows_exact_counts(self, star_db):
+        result = star_db.execute(
+            "SELECT c.c_id FROM cust c WHERE c.c_segment = 'RARE'"
+        )
+        text = explain_analyze(result.report)
+        assert "(completed)" in text
+        actual = len(result.rows)
+        assert f"actual={actual}" in text
+
+    def test_interrupted_attempt_marks_lower_bounds(self, star_db):
+        result = star_db.execute(marker_query(), params={"p": "COMMON"})
+        assert result.report.reoptimizations >= 1
+        text = explain_analyze(result.report)
+        assert "re-optimized at CHECK" in text
+        assert "+" in text  # interrupted operators show lower bounds
+
+    def test_misestimate_flagged(self, star_db):
+        result = star_db.execute(marker_query(), params={"p": "COMMON"})
+        text = explain_analyze(result.report)
+        assert "x of estimate" in text
+
+    def test_every_attempt_rendered(self, star_db):
+        result = star_db.execute(marker_query(), params={"p": "COMMON"})
+        text = explain_analyze(result.report)
+        assert text.count("--- attempt") == len(result.report.attempts)
+
+    def test_plan_renderer_handles_missing_ops(self, star_db):
+        result = star_db.execute_without_pop(
+            "SELECT c.c_id FROM cust c WHERE c.c_segment = 'RARE'"
+        )
+        attempt = result.report.attempts[0]
+        text = explain_analyze_plan(attempt.plan, {})
+        assert "not executed" in text
+
+    def test_actual_cards_recorded_per_attempt(self, star_db):
+        result = star_db.execute(marker_query(), params={"p": "COMMON"})
+        for attempt in result.report.attempts:
+            assert attempt.actual_cards
+            for op_id, (rows, complete) in attempt.actual_cards.items():
+                assert rows >= 0
+                assert isinstance(complete, bool)
+
+    def test_cli_analyze_command(self, star_db):
+        import io
+
+        from repro.cli import Shell
+
+        out = io.StringIO()
+        shell = Shell(db=star_db, out=out)
+        shell.run(["\\analyze SELECT c.c_id FROM cust c WHERE c.c_segment = 'RARE'"])
+        text = out.getvalue()
+        assert "attempt 0" in text
+        assert "actual=" in text

@@ -1,0 +1,138 @@
+"""Tests for cardinality estimation and feedback integration."""
+
+import pytest
+
+from repro.core.feedback import CardinalityFeedback, FeedbackEntry
+from repro.expr.expressions import ColumnRef, Literal
+from repro.expr.predicates import Comparison, JoinPredicate, predicate_set_id
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.plan.logical import Query, TableRef
+
+
+def make_query(db):
+    return Query(
+        tables=[TableRef("c", "cust"), TableRef("o", "orders")],
+        select=[ColumnRef("c", "c_id"), ColumnRef("o", "o_id")],
+        local_predicates=[
+            Comparison(ColumnRef("c", "c_segment"), "=", Literal("COMMON"))
+        ],
+        join_predicates=[
+            JoinPredicate(ColumnRef("o", "o_custkey"), ColumnRef("c", "c_id"))
+        ],
+    )
+
+
+class TestBaseEstimates:
+    def test_base_cardinality_from_stats(self, star_db):
+        est = CardinalityEstimator(star_db.catalog, make_query(star_db))
+        assert est.base_cardinality("c") == 1200
+        assert est.base_cardinality("o") == 12000
+
+    def test_filtered_cardinality_close_to_actual(self, star_db):
+        est = CardinalityEstimator(star_db.catalog, make_query(star_db))
+        actual = sum(
+            1 for row in star_db.catalog.table("cust").rows if row[1] == "COMMON"
+        )
+        assert est.filtered_cardinality("c") == pytest.approx(actual, rel=0.3)
+
+    def test_subset_cardinality_join(self, star_db):
+        est = CardinalityEstimator(star_db.catalog, make_query(star_db))
+        both = est.subset_cardinality(frozenset({"c", "o"}))
+        # ~85% of orders survive the customer-side filter.
+        assert both == pytest.approx(0.85 * 12000, rel=0.35)
+
+    def test_subset_cardinality_join_order_independent(self, star_db):
+        est = CardinalityEstimator(star_db.catalog, make_query(star_db))
+        assert est.subset_cardinality(frozenset({"c", "o"})) == est.subset_cardinality(
+            frozenset({"o", "c"})
+        )
+
+    def test_predicates_for_subset(self, star_db):
+        query = make_query(star_db)
+        est = CardinalityEstimator(star_db.catalog, query)
+        only_c = est.predicates_for_subset(frozenset({"c"}))
+        assert len(only_c) == 1  # just the local predicate
+        both = est.predicates_for_subset(frozenset({"c", "o"}))
+        assert len(both) == 2  # local + join
+
+    def test_group_by_cardinality_capped_by_input(self, star_db):
+        est = CardinalityEstimator(star_db.catalog, make_query(star_db))
+        assert est.group_by_cardinality(5.0, [ColumnRef("c", "c_id")]) <= 5.0
+
+    def test_group_by_cardinality_uses_ndv(self, star_db):
+        est = CardinalityEstimator(star_db.catalog, make_query(star_db))
+        groups = est.group_by_cardinality(1e9, [ColumnRef("c", "c_segment")])
+        assert groups == 3  # COMMON / MID / RARE
+
+
+class TestFeedbackIntegration:
+    def test_exact_feedback_overrides_estimate(self, star_db):
+        query = make_query(star_db)
+        feedback = CardinalityFeedback()
+        signature = (
+            frozenset({"c"}),
+            predicate_set_id(query.local_predicates),
+        )
+        feedback.record(signature, 7.0, exact=True)
+        est = CardinalityEstimator(star_db.catalog, query, feedback=feedback)
+        assert est.filtered_cardinality("c") == 7.0
+
+    def test_lower_bound_clamps_estimate(self, star_db):
+        query = make_query(star_db)
+        feedback = CardinalityFeedback()
+        signature = (frozenset({"c"}), predicate_set_id(query.local_predicates))
+        feedback.record(signature, 1e6, exact=False)
+        est = CardinalityEstimator(star_db.catalog, query, feedback=feedback)
+        assert est.filtered_cardinality("c") == 1e6
+
+    def test_lower_bound_below_estimate_is_ignored(self, star_db):
+        query = make_query(star_db)
+        feedback = CardinalityFeedback()
+        signature = (frozenset({"c"}), predicate_set_id(query.local_predicates))
+        feedback.record(signature, 1.0, exact=False)
+        est_with = CardinalityEstimator(star_db.catalog, query, feedback=feedback)
+        est_without = CardinalityEstimator(star_db.catalog, query)
+        assert est_with.filtered_cardinality("c") == est_without.filtered_cardinality("c")
+
+    def test_subset_feedback_propagates(self, star_db):
+        query = make_query(star_db)
+        est_plain = CardinalityEstimator(star_db.catalog, query)
+        subset = frozenset({"c", "o"})
+        feedback = CardinalityFeedback()
+        feedback.record(est_plain.subset_signature(subset), 42.0, exact=True)
+        est = CardinalityEstimator(star_db.catalog, query, feedback=feedback)
+        assert est.subset_cardinality(subset) == 42.0
+
+
+class TestFeedbackStore:
+    def test_refine_exact_wins(self):
+        entry = FeedbackEntry(10.0, exact=False).refine(FeedbackEntry(5.0, exact=True))
+        assert entry.cardinality == 5.0 and entry.exact
+
+    def test_refine_bounds_take_max(self):
+        entry = FeedbackEntry(10.0, exact=False).refine(FeedbackEntry(7.0, exact=False))
+        assert entry.cardinality == 10.0 and not entry.exact
+
+    def test_exact_not_overwritten_by_bound(self):
+        store = CardinalityFeedback()
+        store.record(("sig",), 5.0, exact=True)
+        store.record(("sig",), 100.0, exact=False)
+        assert store.adjust(("sig",), 1.0) == 5.0
+
+    def test_adjust_without_entry(self):
+        assert CardinalityFeedback().adjust(("sig",), 3.0) == 3.0
+
+    def test_len_and_clear(self):
+        store = CardinalityFeedback()
+        store.record(("a",), 1, exact=True)
+        store.record(("b",), 2, exact=False)
+        assert len(store) == 2
+        store.clear()
+        assert len(store) == 0
+
+    def test_snapshot_is_copy(self):
+        store = CardinalityFeedback()
+        store.record(("a",), 1, exact=True)
+        snap = store.snapshot()
+        store.clear()
+        assert ("a",) in snap

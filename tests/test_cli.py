@@ -1,0 +1,145 @@
+"""Tests for the interactive shell (driven through injected streams)."""
+
+import io
+
+import pytest
+
+from repro import Database
+from repro.cli import Shell, main
+
+
+def make_shell(db=None):
+    out = io.StringIO()
+    shell = Shell(db=db, out=out)
+    return shell, out
+
+
+def tiny_db():
+    db = Database()
+    db.create_table("t", [("a", "int"), ("s", "str")])
+    db.insert("t", [(1, "x"), (2, "y"), (3, "x")])
+    db.runstats()
+    return db
+
+
+class TestMetaCommands:
+    def test_help(self):
+        shell, out = make_shell()
+        shell.run(["\\help"])
+        assert "meta commands" in out.getvalue()
+
+    def test_unknown_command(self):
+        shell, out = make_shell()
+        shell.run(["\\frobnicate"])
+        assert "unknown command" in out.getvalue()
+
+    def test_quit_stops_processing(self):
+        shell, out = make_shell(tiny_db())
+        shell.run(["\\q", "SELECT t.a FROM t;"])
+        assert "t.a" not in out.getvalue()
+
+    def test_tables_empty(self):
+        shell, out = make_shell()
+        shell.run(["\\tables"])
+        assert "no tables" in out.getvalue()
+
+    def test_tables_and_schema(self):
+        shell, out = make_shell(tiny_db())
+        shell.run(["\\tables", "\\schema t"])
+        text = out.getvalue()
+        assert "t " in text and "3 rows" in text
+        assert "a" in text and "int" in text
+
+    def test_schema_unknown_table(self):
+        shell, out = make_shell(tiny_db())
+        shell.run(["\\schema ghost"])
+        assert "error" in out.getvalue()
+
+    def test_pop_toggle(self):
+        shell, out = make_shell()
+        shell.run(["\\pop off", "\\pop"])
+        assert "POP is off" in out.getvalue()
+        shell.run(["\\pop on"])
+        assert "POP is on" in out.getvalue()
+
+    def test_pop_flavors(self):
+        shell, out = make_shell()
+        shell.run(["\\pop flavors lc,ecb"])
+        assert "ECB,LC" in out.getvalue()
+        shell.run(["\\pop flavors NOPE"])
+        assert "unknown flavors" in out.getvalue()
+
+    def test_set_and_params(self):
+        shell, out = make_shell()
+        shell.run(["\\set p1 42", "\\set p2 3.5", "\\set p3 'abc'", "\\params"])
+        text = out.getvalue()
+        assert "p1 = 42" in text
+        assert "p2 = 3.5" in text
+        assert "p3 = 'abc'" in text
+
+    def test_learning_toggle(self):
+        db = tiny_db()
+        shell, out = make_shell(db)
+        shell.run(["\\learning on"])
+        assert db.learning is not None
+        shell.run(["\\learning off"])
+        assert db.learning is None
+
+    def test_timing_toggle(self):
+        shell, out = make_shell()
+        shell.run(["\\timing off"])
+        assert "timing is off" in out.getvalue()
+
+
+class TestSql:
+    def test_select_prints_rows(self):
+        shell, out = make_shell(tiny_db())
+        shell.run(["SELECT t.a FROM t ORDER BY t.a;"])
+        text = out.getvalue()
+        assert "t.a" in text
+        assert "3 row(s)" in text
+
+    def test_multiline_statement(self):
+        shell, out = make_shell(tiny_db())
+        shell.run(["SELECT t.a", "FROM t", "WHERE t.s = 'x';"])
+        assert "2 row(s)" in out.getvalue()
+
+    def test_parameter_binding(self):
+        shell, out = make_shell(tiny_db())
+        shell.run(["\\set p1 x", "SELECT t.a FROM t WHERE t.s = ?;"])
+        assert "2 row(s)" in out.getvalue()
+
+    def test_sql_error_reported(self):
+        shell, out = make_shell(tiny_db())
+        shell.run(["SELECT nope FROM t;"])
+        assert "error" in out.getvalue()
+
+    def test_explain(self):
+        shell, out = make_shell(tiny_db())
+        shell.run(["\\explain SELECT t.a FROM t"])
+        assert "TBSCAN" in out.getvalue()
+
+    def test_trailing_statement_without_semicolon(self):
+        shell, out = make_shell(tiny_db())
+        shell.run(["SELECT t.a FROM t"])
+        assert "3 row(s)" in out.getvalue()
+
+
+class TestMain:
+    def test_one_shot_command(self, capsys):
+        db_setup = main(["--tpch", "0.002", "-c", "SELECT count(*) AS n FROM region"])
+        captured = capsys.readouterr()
+        assert db_setup == 0
+        assert "5" in captured.out
+
+    def test_load_workloads_via_shell(self):
+        shell, out = make_shell()
+        shell.run(["\\load tpch 0.002", "\\tables"])
+        text = out.getvalue()
+        assert "loaded TPC-H" in text
+        assert "lineitem" in text
+
+    def test_load_usage_message(self):
+        shell, out = make_shell()
+        shell.run(["\\load"])
+        assert "usage" in out.getvalue()

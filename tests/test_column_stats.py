@@ -1,0 +1,92 @@
+"""Tests for column/table statistics collection."""
+
+import pytest
+
+from repro.stats.collect import collect_table_statistics, runstats
+from repro.stats.column_stats import ColumnStatistics
+from repro.storage.catalog import Catalog
+from repro.storage.table import Schema, Table
+
+
+class TestColumnStatistics:
+    def test_basic_counts(self):
+        stats = ColumnStatistics.collect("c", [1, 2, 2, 3, None])
+        assert stats.row_count == 5
+        assert stats.null_count == 1
+        assert stats.non_null_count == 4
+        assert stats.ndv == 3
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+
+    def test_null_fraction(self):
+        stats = ColumnStatistics.collect("c", [None, None, 1, 1])
+        assert stats.null_fraction == 0.5
+
+    def test_all_null_column(self):
+        stats = ColumnStatistics.collect("c", [None, None])
+        assert stats.ndv == 0
+        assert stats.histogram is None
+        assert stats.mcvs == []
+
+    def test_empty_column(self):
+        stats = ColumnStatistics.collect("c", [])
+        assert stats.row_count == 0
+        assert stats.null_fraction == 0.0
+
+    def test_mcvs_most_frequent_first(self):
+        values = [1] * 10 + [2] * 5 + [3] * 2 + [4]
+        stats = ColumnStatistics.collect("c", values, num_mcvs=2)
+        assert [v for v, _ in stats.mcvs] == [1, 2]
+        assert stats.mcv_count_for(1) == 10
+        assert stats.mcv_count_for(3) is None
+
+    def test_singleton_values_not_tracked_as_mcv(self):
+        stats = ColumnStatistics.collect("c", [1, 2, 3, 4])
+        assert stats.mcvs == []
+
+    def test_mcv_total(self):
+        stats = ColumnStatistics.collect("c", [1] * 5 + [2] * 3, num_mcvs=5)
+        assert stats.mcv_total == 8
+
+    def test_histogram_built(self):
+        stats = ColumnStatistics.collect("c", list(range(100)))
+        assert stats.histogram is not None
+        assert stats.histogram.total == 100
+
+
+class TestCollect:
+    def make_table(self) -> Table:
+        table = Table("t", Schema.of(("a", "int"), ("b", "str")))
+        table.insert_many([(i % 5, f"s{i % 3}") for i in range(30)])
+        return table
+
+    def test_collect_all_columns(self):
+        stats = collect_table_statistics(self.make_table())
+        assert stats.row_count == 30
+        assert set(stats.columns) == {"a", "b"}
+        assert stats.ndv("a") == 5
+        assert stats.ndv("b") == 3
+
+    def test_collect_subset(self):
+        stats = collect_table_statistics(self.make_table(), columns=["a"])
+        assert set(stats.columns) == {"a"}
+        assert stats.ndv("b", default=7) == 7
+
+    def test_page_count_recorded(self):
+        stats = collect_table_statistics(self.make_table())
+        assert stats.page_count >= 1
+
+    def test_runstats_registers_in_catalog(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", Schema.of(("a", "int")))
+        table.insert_many([(i,) for i in range(10)])
+        runstats(catalog)
+        assert catalog.statistics("t").row_count == 10
+
+    def test_runstats_selected_tables(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema.of(("a", "int")))
+        catalog.create_table("u", Schema.of(("a", "int")))
+        runstats(catalog, tables=["t"])
+        assert catalog.statistics("t") is not None
+        assert catalog.statistics("u") is None

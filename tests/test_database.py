@@ -1,0 +1,78 @@
+"""Tests for the public Database facade."""
+
+import pytest
+
+from repro import Database, NO_POP, PopConfig
+from repro.common.errors import CatalogError, UnboundParameterError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", [("a", "int"), ("d", "date")])
+    database.insert("t", [(1, "2001-01-01"), (2, "2002-02-02"), (3, "2003-03-03")])
+    database.create_index("ix_t_a", "t", "a")
+    database.runstats()
+    return database
+
+
+class TestDdlAndData:
+    def test_insert_coerces_dates(self, db):
+        rows = db.execute("SELECT t.d FROM t WHERE t.a = 1").rows
+        assert isinstance(rows[0][0], int)
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table("t", [("x", "int")])
+
+    def test_load_raw_rebuilds_indexes(self, db):
+        db.load_raw("t", [(4, 12000)])
+        rows = db.execute("SELECT t.a FROM t WHERE t.a = 4").rows
+        assert rows == [(4,)]
+
+
+class TestExecution:
+    def test_execute_sql_text(self, db):
+        result = db.execute("SELECT t.a FROM t ORDER BY t.a")
+        assert result.rows == [(1,), (2,), (3,)]
+        assert result.columns == ["t.a"]
+        assert len(result) == 3
+        assert list(result) == result.rows
+
+    def test_execute_with_params(self, db):
+        result = db.execute("SELECT t.a FROM t WHERE t.a = ?", params={"p1": 2})
+        assert result.rows == [(2,)]
+
+    def test_unbound_param_raises(self, db):
+        with pytest.raises(UnboundParameterError):
+            db.execute("SELECT t.a FROM t WHERE t.a = ?")
+
+    def test_execute_without_pop(self, db):
+        result = db.execute_without_pop("SELECT t.a FROM t")
+        assert not result.report.pop_enabled
+        assert result.report.reoptimizations == 0
+
+    def test_no_pop_constant(self, db):
+        result = db.execute("SELECT t.a FROM t", pop=NO_POP)
+        assert not result.report.pop_enabled
+
+    def test_explain_mentions_operators(self, db):
+        text = db.explain("SELECT t.a FROM t WHERE t.a > 1 ORDER BY t.a")
+        assert "RETURN" in text
+        assert "t:t" in text
+
+    def test_explain_with_pop_config(self, db):
+        text = db.explain(
+            "SELECT t.a FROM t", pop=PopConfig(min_cost_for_checkpoints=0.0)
+        )
+        assert "RETURN" in text
+
+    def test_meter_injection(self, db):
+        from repro.executor.meter import WorkMeter
+
+        meter = WorkMeter()
+        db.execute("SELECT t.a FROM t", meter=meter)
+        first = meter.units
+        assert first > 0
+        db.execute("SELECT t.a FROM t", meter=meter)
+        assert meter.units > first  # accumulates across calls

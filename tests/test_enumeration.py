@@ -1,0 +1,222 @@
+"""Tests for the DP plan enumerator: access paths, join methods, interesting
+orders, MV reuse candidates, and validity-range narrowing during pruning."""
+
+import pytest
+
+from repro import Database
+from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
+from repro.expr.predicates import Comparison, JoinPredicate, predicate_set_id
+from repro.optimizer.enumeration import OptimizerOptions, order_satisfies
+from repro.plan.explain import join_order, plan_operators
+from repro.plan.logical import Query, TableRef
+from repro.plan.physical import (
+    HashJoin,
+    IndexScan,
+    JoinOp,
+    MergeJoin,
+    MVScan,
+    NLJoin,
+    TableScan,
+    find_ops,
+)
+
+
+def two_table_query(local=None):
+    return Query(
+        tables=[TableRef("c", "cust"), TableRef("o", "orders")],
+        select=[ColumnRef("c", "c_id"), ColumnRef("o", "o_id")],
+        local_predicates=local or [],
+        join_predicates=[
+            JoinPredicate(ColumnRef("o", "o_custkey"), ColumnRef("c", "c_id"))
+        ],
+    )
+
+
+class TestOrderSatisfies:
+    def test_prefix_semantics(self):
+        assert order_satisfies(("a", "b"), ("a",))
+        assert order_satisfies(("a", "b"), ("a", "b"))
+        assert order_satisfies(("a",), ())
+        assert not order_satisfies(("a",), ("b",))
+        assert not order_satisfies((), ("a",))
+
+
+class TestAccessPaths:
+    def test_index_scan_chosen_for_selective_sarg(self, star_db):
+        query = two_table_query(
+            local=[Comparison(ColumnRef("c", "c_id"), "=", Literal(5))]
+        )
+        plan = star_db.optimizer.optimize(query).plan
+        scans = find_ops(plan, IndexScan)
+        assert any(s.alias == "c" and s.sarg is not None for s in scans)
+
+    def test_table_scan_for_unselective_predicate(self, star_db):
+        query = two_table_query(
+            local=[Comparison(ColumnRef("o", "o_total"), ">", Literal(0.0))]
+        )
+        plan = star_db.optimizer.optimize(query).plan
+        assert any(
+            isinstance(op, TableScan) and op.alias == "o" for op in plan.walk()
+        )
+
+    def test_marker_sarg_allowed(self, star_db):
+        query = two_table_query(
+            local=[Comparison(ColumnRef("c", "c_id"), "=", ParameterMarker("p"))]
+        )
+        plan = star_db.optimizer.optimize(query).plan  # must not raise
+        assert plan is not None
+
+
+class TestJoinMethods:
+    def test_small_outer_uses_index_nljn(self, star_db):
+        query = two_table_query(
+            local=[Comparison(ColumnRef("c", "c_segment"), "=", Literal("RARE"))]
+        )
+        plan = star_db.optimizer.optimize(query).plan
+        joins = find_ops(plan, NLJoin)
+        assert joins and joins[0].method == "index"
+
+    def test_large_join_uses_hash(self, star_db):
+        query = two_table_query()
+        plan = star_db.optimizer.optimize(query).plan
+        assert find_ops(plan, HashJoin)
+
+    def test_disabling_methods_respected(self, star_db):
+        star_db.optimizer.options = OptimizerOptions(
+            enable_hash_join=False, enable_index_nljn=False, enable_rescan_nljn=False
+        )
+        try:
+            plan = star_db.optimizer.optimize(two_table_query()).plan
+            joins = [op for op in plan.walk() if isinstance(op, JoinOp)]
+            assert all(isinstance(j, MergeJoin) for j in joins)
+        finally:
+            star_db.optimizer.options = OptimizerOptions()
+
+    def test_merge_join_adds_sort_enforcers(self, star_db):
+        star_db.optimizer.options = OptimizerOptions(
+            enable_hash_join=False, enable_index_nljn=False, enable_rescan_nljn=False
+        )
+        try:
+            plan = star_db.optimizer.optimize(two_table_query()).plan
+            assert "SORT" in plan_operators(plan)
+            merge = find_ops(plan, MergeJoin)[0]
+            assert merge.properties.order  # output ordered on join keys
+        finally:
+            star_db.optimizer.options = OptimizerOptions()
+
+    def test_validity_ranges_narrowed_on_final_join(self, star_db):
+        query = two_table_query(
+            local=[Comparison(ColumnRef("c", "c_segment"), "=", Literal("RARE"))]
+        )
+        plan = star_db.optimizer.optimize(query).plan
+        joins = [op for op in plan.walk() if isinstance(op, JoinOp)]
+        assert any(
+            not r.is_trivial for j in joins for r in j.validity_ranges
+        ), "pruning must narrow at least one validity range"
+
+    def test_validity_ranges_disabled_option(self, star_db):
+        star_db.optimizer.options = OptimizerOptions(compute_validity_ranges=False)
+        try:
+            plan = star_db.optimizer.optimize(two_table_query()).plan
+            joins = [op for op in plan.walk() if isinstance(op, JoinOp)]
+            assert all(r.is_trivial for j in joins for r in j.validity_ranges)
+        finally:
+            star_db.optimizer.options = OptimizerOptions()
+
+
+class TestEnumerationModes:
+    def test_leftdeep_and_bushy_same_results(self, tpch_db):
+        from repro.workloads.tpch.queries import Q5
+
+        query = tpch_db._to_query(Q5)
+        tpch_db.optimizer.options = OptimizerOptions(join_enumeration="bushy")
+        bushy = tpch_db.execute_without_pop(query)
+        tpch_db.optimizer.options = OptimizerOptions(join_enumeration="leftdeep")
+        leftdeep = tpch_db.execute_without_pop(query)
+        tpch_db.optimizer.options = OptimizerOptions()
+        from tests.conftest import canonical
+
+        assert canonical(bushy.rows) == canonical(leftdeep.rows)
+
+    def test_cross_product_when_disconnected(self, star_db):
+        query = Query(
+            tables=[TableRef("c", "cust"), TableRef("o", "orders")],
+            select=[ColumnRef("c", "c_id"), ColumnRef("o", "o_id")],
+            local_predicates=[
+                Comparison(ColumnRef("c", "c_id"), "=", Literal(1)),
+                Comparison(ColumnRef("o", "o_id"), "=", Literal(2)),
+            ],
+        )
+        result = star_db.execute_without_pop(query)
+        assert len(result.rows) == 1
+
+    def test_plans_enumerated_counter(self, star_db):
+        result = star_db.optimizer.optimize(two_table_query())
+        assert result.plans_enumerated > 3
+
+
+class TestMVCandidates:
+    def test_exact_mv_match_is_used(self, star_db):
+        query = two_table_query(
+            local=[Comparison(ColumnRef("c", "c_segment"), "=", Literal("RARE"))]
+        )
+        # Manually promote the filtered customers as a temp MV.
+        cust = star_db.catalog.table("cust")
+        rows = [r for r in cust.rows if r[1] == "RARE"]
+        star_db.catalog.register_temp_mv(
+            tables=frozenset({"c"}),
+            predicate_ids=predicate_set_id(query.local_predicates),
+            columns=("c.c_id", "c.c_segment", "c.c_nation"),
+            rows=rows,
+        )
+        try:
+            plan = star_db.optimizer.optimize(query).plan
+            mv_scans = find_ops(plan, MVScan)
+            assert mv_scans, "optimizer should pick the free intermediate result"
+            assert mv_scans[0].est_card == len(rows)
+        finally:
+            star_db.catalog.clear_temp_mvs()
+
+    def test_mv_with_residual_predicates(self, star_db):
+        seg = Comparison(ColumnRef("c", "c_segment"), "=", Literal("RARE"))
+        extra = Comparison(ColumnRef("c", "c_nation"), "=", Literal(3))
+        query = two_table_query(local=[seg, extra])
+        cust = star_db.catalog.table("cust")
+        rows = [r for r in cust.rows if r[1] == "RARE"]
+        star_db.catalog.register_temp_mv(
+            tables=frozenset({"c"}),
+            predicate_ids=predicate_set_id([seg]),
+            columns=("c.c_id", "c.c_segment", "c.c_nation"),
+            rows=rows,
+        )
+        try:
+            plan = star_db.optimizer.optimize(query).plan
+            mv_scans = find_ops(plan, MVScan)
+            assert mv_scans and mv_scans[0].filters  # residual applied on scan
+            result = star_db.execute_without_pop(query)
+            expected = sum(1 for r in rows if r[2] == 3)
+            joined = sum(
+                1
+                for row in star_db.catalog.table("orders").rows
+                if any(r[0] == row[1] and r[2] == 3 for r in rows)
+            )
+        finally:
+            star_db.catalog.clear_temp_mvs()
+
+    def test_mvs_ignored_when_disabled(self, star_db):
+        query = two_table_query(
+            local=[Comparison(ColumnRef("c", "c_segment"), "=", Literal("RARE"))]
+        )
+        star_db.catalog.register_temp_mv(
+            tables=frozenset({"c"}),
+            predicate_ids=predicate_set_id(query.local_predicates),
+            columns=("c.c_id", "c.c_segment", "c.c_nation"),
+            rows=[],
+        )
+        star_db.optimizer.options = OptimizerOptions(consider_mvs=False)
+        try:
+            plan = star_db.optimizer.optimize(query).plan
+            assert not find_ops(plan, MVScan)
+        finally:
+            star_db.optimizer.options = OptimizerOptions()
+            star_db.catalog.clear_temp_mvs()

@@ -1,0 +1,189 @@
+"""Tests for the paper's §7 future-work extensions implemented here:
+cross-query learning, adaptive re-optimization limits, work-budget
+re-optimization, and the uncertainty-averse plan mode."""
+
+import pytest
+
+from repro import Database, PopConfig
+from repro.core.learning import LearnedCardinalities
+from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
+from repro.expr.predicates import Comparison, JoinPredicate, predicate_set_id
+from repro.optimizer.enumeration import OptimizerOptions
+from repro.plan.logical import Query, TableRef
+from tests.conftest import canonical
+
+
+def marker_query():
+    return Query(
+        tables=[TableRef("c", "cust"), TableRef("o", "orders")],
+        select=[ColumnRef("c", "c_id"), ColumnRef("o", "o_id")],
+        local_predicates=[
+            Comparison(ColumnRef("c", "c_segment"), "=", ParameterMarker("p"))
+        ],
+        join_predicates=[
+            JoinPredicate(ColumnRef("o", "o_custkey"), ColumnRef("c", "c_id"))
+        ],
+    )
+
+
+def literal_query(value="COMMON"):
+    return Query(
+        tables=[TableRef("c", "cust"), TableRef("o", "orders")],
+        select=[ColumnRef("c", "c_id"), ColumnRef("o", "o_id")],
+        local_predicates=[
+            Comparison(ColumnRef("c", "c_segment"), "=", Literal(value))
+        ],
+        join_predicates=[
+            JoinPredicate(ColumnRef("o", "o_custkey"), ColumnRef("c", "c_id"))
+        ],
+    )
+
+
+class TestLearning:
+    def test_learns_from_completed_statements(self, star_db):
+        learning = star_db.enable_learning()
+        try:
+            star_db.execute(literal_query())
+            assert len(learning) > 0
+            assert learning.statements_learned_from == 1
+        finally:
+            star_db.disable_learning()
+
+    def test_learned_cardinality_corrects_future_estimates(self, star_db):
+        learning = star_db.enable_learning()
+        try:
+            star_db.execute(literal_query())
+            query = literal_query()
+            feedback = learning.seed()
+            from repro.optimizer.cardinality import CardinalityEstimator
+
+            signature = (
+                frozenset({"c"}), predicate_set_id(query.local_predicates)
+            )
+            entry = feedback.lookup(signature)
+            assert entry is not None and entry.exact
+            actual = sum(
+                1 for r in star_db.catalog.table("cust").rows if r[1] == "COMMON"
+            )
+            assert entry.cardinality == actual
+        finally:
+            star_db.disable_learning()
+
+    def test_marker_edges_never_learned(self, star_db):
+        learning = star_db.enable_learning()
+        try:
+            star_db.execute(marker_query(), params={"p": "COMMON"})
+            for signature in learning._store.snapshot():
+                _, pred_ids = signature
+                assert not any("?" in p for p in pred_ids)
+        finally:
+            star_db.disable_learning()
+
+    def test_results_unchanged_with_learning(self, star_db):
+        baseline = star_db.execute_without_pop(literal_query())
+        star_db.enable_learning()
+        try:
+            star_db.execute(literal_query())  # learn
+            second = star_db.execute(literal_query())  # use learned stats
+            assert canonical(second.rows) == canonical(baseline.rows)
+        finally:
+            star_db.disable_learning()
+
+    def test_forget(self):
+        learning = LearnedCardinalities()
+        from repro.core.feedback import CardinalityFeedback
+
+        fb = CardinalityFeedback()
+        fb.record((frozenset({"t"}), frozenset()), 5, exact=True)
+        learning.absorb(fb)
+        assert len(learning) == 1
+        learning.forget()
+        assert len(learning) == 0
+
+    def test_lower_bounds_not_absorbed(self):
+        learning = LearnedCardinalities()
+        from repro.core.feedback import CardinalityFeedback
+
+        fb = CardinalityFeedback()
+        fb.record((frozenset({"t"}), frozenset()), 5, exact=False)
+        assert learning.absorb(fb) == 0
+
+
+class TestAdaptiveReoptLimit:
+    def test_limit_grows_with_complexity(self):
+        config = PopConfig(adaptive_reopt_limit=True)
+        simple = literal_query()
+        assert 1 <= config.reopt_limit_for(simple) <= 5
+        # More markers -> more allowed rounds.
+        marked = marker_query()
+        assert config.reopt_limit_for(marked) >= config.reopt_limit_for(simple)
+
+    def test_fixed_limit_unchanged(self):
+        config = PopConfig(max_reoptimizations=2)
+        assert config.reopt_limit_for(literal_query()) == 2
+
+    def test_adaptive_run_end_to_end(self, star_db):
+        config = PopConfig(adaptive_reopt_limit=True)
+        result = star_db.execute(marker_query(), params={"p": "COMMON"}, pop=config)
+        baseline = star_db.execute_without_pop(marker_query(), params={"p": "COMMON"})
+        assert canonical(result.rows) == canonical(baseline.rows)
+        assert result.report.reoptimizations <= 5
+
+
+class TestWorkBudget:
+    def test_budget_triggers_reoptimization(self, star_db):
+        # A budget far below the statement's real cost forces a budget
+        # signal at the first checkpoint tick past the limit.
+        config = PopConfig(work_budget=10.0)
+        result = star_db.execute(marker_query(), params={"p": "COMMON"}, pop=config)
+        reasons = {a.signal_reason for a in result.report.attempts if a.reoptimized}
+        assert "budget" in reasons or "cardinality" in reasons
+        baseline = star_db.execute_without_pop(
+            marker_query(), params={"p": "COMMON"}
+        )
+        assert canonical(result.rows) == canonical(baseline.rows)
+
+    def test_generous_budget_never_fires(self, star_db):
+        config = PopConfig(work_budget=1e12)
+        result = star_db.execute(literal_query("RARE"), pop=config)
+        assert all(a.signal_reason != "budget" for a in result.report.attempts)
+
+    def test_budget_runs_terminate(self, star_db):
+        config = PopConfig(work_budget=1.0, max_reoptimizations=3)
+        result = star_db.execute(marker_query(), params={"p": "COMMON"}, pop=config)
+        assert len(result.report.attempts) <= 4
+
+
+class TestUncertaintyPenalty:
+    def test_penalty_changes_plan_for_marker_queries(self, star_db):
+        from repro.plan.physical import HashJoin, find_ops
+
+        plain_plan = star_db.optimizer.optimize(marker_query()).plan
+        star_db.optimizer.options = OptimizerOptions(uncertainty_penalty=5.0)
+        try:
+            averse_plan = star_db.optimizer.optimize(marker_query()).plan
+            # With a strong penalty, hash joins disappear from the plan of
+            # an uncertain (marker-carrying) query.
+            assert not find_ops(averse_plan, HashJoin)
+        finally:
+            star_db.optimizer.options = OptimizerOptions()
+
+    def test_penalty_ignored_without_markers(self, star_db):
+        from repro.plan.explain import join_order
+
+        plain = join_order(star_db.optimizer.optimize(literal_query()).plan)
+        star_db.optimizer.options = OptimizerOptions(uncertainty_penalty=5.0)
+        try:
+            averse = join_order(star_db.optimizer.optimize(literal_query()).plan)
+            assert plain == averse
+        finally:
+            star_db.optimizer.options = OptimizerOptions()
+
+    def test_results_unchanged_under_penalty(self, star_db):
+        star_db.optimizer.options = OptimizerOptions(uncertainty_penalty=2.0)
+        try:
+            result = star_db.execute(marker_query(), params={"p": "MID"})
+        finally:
+            star_db.optimizer.options = OptimizerOptions()
+        baseline = star_db.execute_without_pop(marker_query(), params={"p": "MID"})
+        assert canonical(result.rows) == canonical(baseline.rows)

@@ -1,0 +1,136 @@
+"""Tests for the HAVING clause across parser, binder, planner, executor."""
+
+import pytest
+
+from repro import Database
+from repro.common.errors import BindError
+from repro.plan.logical import HavingPredicate
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("sales", [("region", "str"), ("amount", "int")])
+    database.insert(
+        "sales",
+        [
+            ("north", 10), ("north", 20), ("north", 5),
+            ("south", 100),
+            ("east", 7), ("east", 8),
+            ("west", None),
+        ],
+    )
+    database.runstats()
+    return database
+
+
+class TestSemantics:
+    def test_filter_on_count(self, db):
+        rows = db.execute(
+            "SELECT sales.region, count(*) AS n FROM sales "
+            "GROUP BY sales.region HAVING n >= 2 ORDER BY sales.region"
+        ).rows
+        assert rows == [("east", 2), ("north", 3)]
+
+    def test_filter_on_sum(self, db):
+        rows = db.execute(
+            "SELECT sales.region, sum(sales.amount) AS total FROM sales "
+            "GROUP BY sales.region HAVING total > 30 ORDER BY total DESC"
+        ).rows
+        assert rows == [("south", 100), ("north", 35)]
+
+    def test_multiple_conjuncts(self, db):
+        rows = db.execute(
+            "SELECT sales.region, count(*) AS n, sum(sales.amount) AS total "
+            "FROM sales GROUP BY sales.region "
+            "HAVING n >= 2 AND total < 20"
+        ).rows
+        assert rows == [("east", 2, 15)]
+
+    def test_reversed_comparison(self, db):
+        rows = db.execute(
+            "SELECT sales.region, sum(sales.amount) AS total FROM sales "
+            "GROUP BY sales.region HAVING 100 <= total"
+        ).rows
+        assert rows == [("south", 100)]
+
+    def test_having_on_group_column(self, db):
+        rows = db.execute(
+            "SELECT sales.region, count(*) AS n FROM sales "
+            "GROUP BY sales.region HAVING sales.region = 'north'"
+        ).rows
+        assert rows == [("north", 3)]
+
+    def test_null_aggregate_filtered_out(self, db):
+        # west's SUM is NULL; NULL never satisfies a comparison.
+        rows = db.execute(
+            "SELECT sales.region, sum(sales.amount) AS total FROM sales "
+            "GROUP BY sales.region HAVING total >= 0"
+        ).rows
+        assert ("west", None) not in rows
+        assert len(rows) == 3
+
+    def test_scalar_aggregate_with_having(self, db):
+        rows = db.execute(
+            "SELECT count(*) AS n FROM sales HAVING n > 100"
+        ).rows
+        assert rows == []
+
+    def test_having_then_order_and_limit(self, db):
+        rows = db.execute(
+            "SELECT sales.region, sum(sales.amount) AS total FROM sales "
+            "GROUP BY sales.region HAVING total > 0 "
+            "ORDER BY total DESC LIMIT 1"
+        ).rows
+        assert rows == [("south", 100)]
+
+
+class TestValidation:
+    def test_having_without_aggregation_rejected(self, db):
+        with pytest.raises(BindError, match="HAVING requires aggregation"):
+            db.execute(
+                "SELECT sales.region FROM sales HAVING sales.region = 'x'"
+            )
+
+    def test_having_on_unprojected_column_rejected(self, db):
+        with pytest.raises(BindError, match="not in the select list"):
+            db.execute(
+                "SELECT sales.region, count(*) AS n FROM sales "
+                "GROUP BY sales.region HAVING amount > 5"
+            )
+
+    def test_having_or_rejected(self, db):
+        with pytest.raises(BindError, match="AND-combined"):
+            db.execute(
+                "SELECT sales.region, count(*) AS n FROM sales "
+                "GROUP BY sales.region HAVING n > 1 OR n < 0"
+            )
+
+    def test_column_to_column_having_rejected(self, db):
+        with pytest.raises(BindError, match="constant"):
+            db.execute(
+                "SELECT sales.region, count(*) AS n, sum(sales.amount) AS t "
+                "FROM sales GROUP BY sales.region HAVING n = t"
+            )
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(BindError, match="unknown HAVING operator"):
+            HavingPredicate("n", "~~", 1)
+
+
+class TestPlanShape:
+    def test_having_sits_above_group_by(self, db):
+        text = db.explain(
+            "SELECT sales.region, count(*) AS n FROM sales "
+            "GROUP BY sales.region HAVING n > 1"
+        )
+        having_pos = text.index("HAVING")
+        grpby_pos = text.index("GRPBY")
+        assert having_pos < grpby_pos  # HAVING is the parent (printed first)
+
+    def test_pop_and_static_agree_with_having(self, db):
+        sql = (
+            "SELECT sales.region, count(*) AS n FROM sales "
+            "GROUP BY sales.region HAVING n >= 2 ORDER BY sales.region"
+        )
+        assert db.execute(sql).rows == db.execute_without_pop(sql).rows

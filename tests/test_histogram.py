@@ -1,0 +1,109 @@
+"""Tests for equi-depth histograms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.histogram import EquiDepthHistogram
+
+
+class TestBuild:
+    def test_empty_values(self):
+        hist = EquiDepthHistogram.build([])
+        assert hist.total == 0
+        assert hist.fraction_le(5) == 0.0
+        assert hist.fraction_eq(5) == 0.0
+
+    def test_bucket_counts_sum_to_total(self):
+        hist = EquiDepthHistogram.build(list(range(100)), num_buckets=7)
+        assert sum(b.count for b in hist.buckets) == 100
+
+    def test_buckets_roughly_equal_depth(self):
+        hist = EquiDepthHistogram.build(list(range(1000)), num_buckets=10)
+        counts = [b.count for b in hist.buckets]
+        assert max(counts) - min(counts) <= 1
+
+    def test_equal_values_do_not_straddle_buckets(self):
+        # 50 copies of one value must land in a single bucket.
+        values = [1] * 50 + list(range(2, 52))
+        hist = EquiDepthHistogram.build(values, num_buckets=10)
+        holding = [b for b in hist.buckets if b.lower <= 1 <= b.upper]
+        assert len(holding) == 1
+
+    def test_min_max(self):
+        hist = EquiDepthHistogram.build([5, 1, 9, 3])
+        assert hist.min_value == 1
+        assert hist.max_value == 9
+
+    def test_more_buckets_than_values(self):
+        hist = EquiDepthHistogram.build([1, 2], num_buckets=50)
+        assert sum(b.count for b in hist.buckets) == 2
+
+
+class TestEstimates:
+    def test_fraction_le_extremes(self):
+        hist = EquiDepthHistogram.build(list(range(100)))
+        assert hist.fraction_le(-1) == 0.0
+        assert hist.fraction_le(99) == 1.0
+        assert hist.fraction_le(1000) == 1.0
+
+    def test_fraction_le_midpoint(self):
+        hist = EquiDepthHistogram.build(list(range(1000)), num_buckets=20)
+        assert hist.fraction_le(499) == pytest.approx(0.5, abs=0.05)
+
+    def test_fraction_eq_uniform(self):
+        hist = EquiDepthHistogram.build(list(range(100)), num_buckets=10)
+        assert hist.fraction_eq(42) == pytest.approx(0.01, abs=0.005)
+
+    def test_fraction_eq_outside_domain(self):
+        hist = EquiDepthHistogram.build(list(range(10)))
+        assert hist.fraction_eq(100) == 0.0
+
+    def test_fraction_between(self):
+        hist = EquiDepthHistogram.build(list(range(1000)), num_buckets=20)
+        assert hist.fraction_between(250, 749) == pytest.approx(0.5, abs=0.05)
+
+    def test_fraction_between_inverted_range(self):
+        hist = EquiDepthHistogram.build(list(range(10)))
+        assert hist.fraction_between(5, 2) == 0.0
+
+    def test_string_values_supported(self):
+        hist = EquiDepthHistogram.build(["a", "b", "c", "d"] * 5, num_buckets=4)
+        assert 0.0 < hist.fraction_le("b") < 1.0
+        assert hist.fraction_eq("a") > 0.0
+
+    def test_skewed_value_estimate(self):
+        # A heavy value's equality estimate is diluted by the uniformity
+        # assumption within its bucket, but still far above 1/ndv.
+        values = [7] * 900 + list(range(100))
+        hist = EquiDepthHistogram.build(values, num_buckets=10)
+        assert hist.fraction_eq(7) > 0.05
+        assert hist.fraction_eq(7) > 5 * (1 / 108)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=300))
+    def test_fractions_bounded(self, values):
+        hist = EquiDepthHistogram.build(values, num_buckets=8)
+        for probe in [-200, -5, 0, 5, 200]:
+            assert 0.0 <= hist.fraction_le(probe) <= 1.0
+            assert 0.0 <= hist.fraction_eq(probe) <= 1.0
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=200))
+    def test_fraction_le_monotonic(self, values):
+        hist = EquiDepthHistogram.build(values, num_buckets=8)
+        probes = sorted({-60, -10, 0, 10, 60} | set(values))
+        fractions = [hist.fraction_le(p) for p in probes]
+        assert all(a <= b + 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+    @given(st.lists(st.integers(0, 30), min_size=5, max_size=200))
+    def test_fraction_le_error_bounded_by_bucket_weight(self, values):
+        """The within-bucket uniformity assumption can be off by at most the
+        weight of the bucket the probe lands in (duplicate-heavy buckets are
+        the worst case), never more."""
+        hist = EquiDepthHistogram.build(values, num_buckets=10)
+        worst_bucket = max(b.count for b in hist.buckets) / hist.total
+        for probe in (0, 10, 20, 30):
+            truth = sum(1 for v in values if v <= probe) / len(values)
+            error = abs(hist.fraction_le(probe) - truth)
+            assert error <= worst_bucket + 1e-9

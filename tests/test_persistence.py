@@ -1,0 +1,105 @@
+"""Tests for database save/load round-tripping."""
+
+import json
+import os
+
+import pytest
+
+from repro import Database
+from repro.storage.persistence import PersistenceError, load_database, save_database
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        "t", [("i", "int"), ("f", "float"), ("s", "str"), ("d", "date")]
+    )
+    db.insert(
+        "t",
+        [
+            (1, 1.5, "hello", "2001-06-13"),
+            (2, None, "it's", "1999-12-31"),
+            (None, 0.0, "", "1970-01-01"),
+        ],
+    )
+    db.create_index("ix_t_i", "t", "i", kind="sorted")
+    db.create_index("ix_t_s", "t", "s", kind="hash")
+    db.runstats()
+    return db
+
+
+class TestRoundTrip:
+    def test_rows_identical(self, tmp_path):
+        original = make_db()
+        save_database(original, str(tmp_path / "db"))
+        restored = load_database(str(tmp_path / "db"))
+        assert restored.catalog.table("t").rows == original.catalog.table("t").rows
+
+    def test_schema_and_types_preserved(self, tmp_path):
+        save_database(make_db(), str(tmp_path / "db"))
+        restored = load_database(str(tmp_path / "db"))
+        schema = restored.catalog.table("t").schema
+        assert [c.dtype.value for c in schema] == ["int", "float", "str", "date"]
+
+    def test_indexes_rebuilt(self, tmp_path):
+        save_database(make_db(), str(tmp_path / "db"))
+        restored = load_database(str(tmp_path / "db"))
+        indexes = restored.catalog.indexes_on("t")
+        assert {ix.name for ix in indexes} == {"ix_t_i", "ix_t_s"}
+        sorted_ix = restored.catalog.index_on_column("t", "i")
+        assert sorted_ix.lookup(1) == [0]
+
+    def test_queries_work_after_load(self, tmp_path):
+        original = make_db()
+        sql = "SELECT t.s FROM t WHERE t.d >= '2000-01-01'"
+        expected = original.execute(sql).rows
+        save_database(original, str(tmp_path / "db"))
+        restored = load_database(str(tmp_path / "db"))
+        assert restored.execute(sql).rows == expected
+
+    def test_statistics_collected_on_load(self, tmp_path):
+        save_database(make_db(), str(tmp_path / "db"))
+        restored = load_database(str(tmp_path / "db"))
+        assert restored.catalog.statistics("t") is not None
+
+    def test_runstats_skippable(self, tmp_path):
+        save_database(make_db(), str(tmp_path / "db"))
+        restored = load_database(str(tmp_path / "db"), runstats=False)
+        assert restored.catalog.statistics("t") is None
+
+    def test_workload_round_trip(self, tmp_path, tpch_db):
+        save_database(tpch_db, str(tmp_path / "tpch"))
+        restored = load_database(str(tmp_path / "tpch"))
+        assert (
+            restored.catalog.table("lineitem").row_count
+            == tpch_db.catalog.table("lineitem").row_count
+        )
+        from repro.workloads.tpch.queries import TPCH_QUERIES
+
+        assert (
+            restored.execute(TPCH_QUERIES["Q11"]).rows
+            == tpch_db.execute(TPCH_QUERIES["Q11"]).rows
+        )
+
+
+class TestFailureModes:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no database found"):
+            load_database(str(tmp_path / "ghost"))
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "db"
+        save_database(make_db(), str(path))
+        schema_file = path / "schema.json"
+        content = json.loads(schema_file.read_text())
+        content["version"] = 999
+        schema_file.write_text(json.dumps(content))
+        with pytest.raises(PersistenceError, match="version"):
+            load_database(str(path))
+
+    def test_missing_data_file(self, tmp_path):
+        path = tmp_path / "db"
+        save_database(make_db(), str(path))
+        os.remove(path / "data" / "t.jsonl")
+        with pytest.raises(PersistenceError, match="missing data file"):
+            load_database(str(path))

@@ -1,0 +1,154 @@
+"""Tests for the selectivity estimator — including the deliberate
+independence and default-selectivity assumptions the paper exploits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
+from repro.expr.predicates import Between, Comparison, InList, JoinPredicate, Like, Or
+from repro.stats.collect import collect_table_statistics
+from repro.stats.selectivity import DEFAULTS, SelectivityEstimator
+from repro.storage.table import Schema, Table
+
+
+def col(name):
+    return ColumnRef("t", name)
+
+
+@pytest.fixture
+def stats():
+    table = Table("t", Schema.of(("a", "int"), ("s", "str")))
+    # 'a' uniform over 0..9; 's' heavily skewed.
+    rows = [(i % 10, "hot" if i % 10 < 8 else f"cold{i % 10}") for i in range(1000)]
+    table.insert_many(rows)
+    return collect_table_statistics(table)
+
+
+@pytest.fixture
+def estimator():
+    return SelectivityEstimator()
+
+
+class TestEquality:
+    def test_mcv_value_is_exact(self, estimator, stats):
+        pred = Comparison(col("s"), "=", Literal("hot"))
+        assert estimator.local_selectivity(pred, stats) == pytest.approx(0.8)
+
+    def test_uniform_value(self, estimator, stats):
+        pred = Comparison(col("a"), "=", Literal(4))
+        assert estimator.local_selectivity(pred, stats) == pytest.approx(0.1, abs=0.03)
+
+    def test_inequality_complements(self, estimator, stats):
+        eq = Comparison(col("a"), "=", Literal(4))
+        ne = Comparison(col("a"), "!=", Literal(4))
+        s_eq = estimator.local_selectivity(eq, stats)
+        s_ne = estimator.local_selectivity(ne, stats)
+        assert s_eq + s_ne == pytest.approx(1.0)
+
+    def test_no_stats_uses_default(self, estimator):
+        pred = Comparison(col("a"), "=", Literal(4))
+        assert estimator.local_selectivity(pred, None) == DEFAULTS.equality
+
+
+class TestMarkers:
+    """Parameter markers get fixed default selectivities (paper §5.1)."""
+
+    def test_equality_marker(self, estimator, stats):
+        pred = Comparison(col("a"), "=", ParameterMarker("p"))
+        assert estimator.local_selectivity(pred, stats) == DEFAULTS.equality
+
+    def test_range_marker(self, estimator, stats):
+        pred = Comparison(col("a"), "<", ParameterMarker("p"))
+        assert estimator.local_selectivity(pred, stats) == DEFAULTS.range
+
+    def test_between_marker(self, estimator, stats):
+        pred = Between(col("a"), ParameterMarker("x"), Literal(5))
+        assert estimator.local_selectivity(pred, stats) == DEFAULTS.between
+
+
+class TestRanges:
+    def test_range_from_histogram(self, estimator, stats):
+        pred = Comparison(col("a"), "<", Literal(5))
+        assert estimator.local_selectivity(pred, stats) == pytest.approx(0.5, abs=0.07)
+
+    def test_open_range_above_max(self, estimator, stats):
+        pred = Comparison(col("a"), "<=", Literal(100))
+        assert estimator.local_selectivity(pred, stats) == pytest.approx(1.0, abs=0.01)
+
+    def test_between_from_histogram(self, estimator, stats):
+        pred = Between(col("a"), Literal(2), Literal(5))
+        assert estimator.local_selectivity(pred, stats) == pytest.approx(0.4, abs=0.08)
+
+    def test_incomparable_value_falls_back(self, estimator, stats):
+        pred = Comparison(col("a"), "<", Literal("zz"))
+        assert estimator.local_selectivity(pred, stats) == DEFAULTS.range
+
+
+class TestCompound:
+    def test_in_list_sums(self, estimator, stats):
+        pred = InList(col("a"), (1, 2, 3))
+        assert estimator.local_selectivity(pred, stats) == pytest.approx(0.3, abs=0.05)
+
+    def test_or_combines_independently(self, estimator, stats):
+        p1 = Comparison(col("a"), "=", Literal(1))
+        p2 = Comparison(col("a"), "=", Literal(2))
+        s = estimator.local_selectivity(Or((p1, p2)), stats)
+        # 1 - (1-0.1)(1-0.1) ~= 0.19
+        assert s == pytest.approx(0.19, abs=0.05)
+
+    def test_conjunction_uses_independence(self, estimator, stats):
+        """The error source the paper's DMV study demonstrates: correlated
+        conjuncts are multiplied as if independent."""
+        p1 = Comparison(col("a"), "=", Literal(1))
+        p2 = Comparison(col("s"), "=", Literal("hot"))
+        joint = estimator.conjunction_selectivity([p1, p2], stats)
+        s1 = estimator.local_selectivity(p1, stats)
+        s2 = estimator.local_selectivity(p2, stats)
+        assert joint == pytest.approx(s1 * s2)
+
+    def test_empty_conjunction_is_one(self, estimator, stats):
+        assert estimator.conjunction_selectivity([], stats) == 1.0
+
+    def test_like_estimate_uses_mcvs(self, estimator, stats):
+        pred = Like(col("s"), "hot%")
+        s = estimator.local_selectivity(pred, stats)
+        assert s >= 0.8  # the MCV 'hot' matches the pattern
+
+    def test_like_without_stats_default(self, estimator):
+        assert (
+            estimator.local_selectivity(Like(col("s"), "x%"), None)
+            == DEFAULTS.like
+        )
+
+
+class TestJoin:
+    def test_inclusion_assumption(self, estimator, stats):
+        pred = JoinPredicate(ColumnRef("t", "a"), ColumnRef("u", "b"))
+        other = collect_table_statistics(
+            _table_with_int_column("u", "b", values=list(range(100)))
+        )
+        sel = estimator.join_selectivity(pred, stats, other)
+        assert sel == pytest.approx(1.0 / 100)
+
+    def test_missing_stats_default(self, estimator):
+        pred = JoinPredicate(ColumnRef("t", "a"), ColumnRef("u", "b"))
+        assert estimator.join_selectivity(pred, None, None) == DEFAULTS.join
+
+
+def _table_with_int_column(table_name, column, values):
+    table = Table(table_name, Schema.of((column, "int")))
+    table.insert_many([(v,) for v in values])
+    return table
+
+
+class TestBounds:
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200), st.integers(-5, 25))
+    def test_selectivities_always_in_unit_interval(self, values, probe):
+        stats = collect_table_statistics(_table_with_int_column("t", "a", values))
+        estimator = SelectivityEstimator()
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            s = estimator.local_selectivity(
+                Comparison(col("a"), op, Literal(probe)), stats
+            )
+            assert 0.0 <= s <= 1.0

@@ -1,0 +1,103 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)][:-1]  # drop EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.is_keyword("select") for t in tokens[:-1])
+
+    def test_identifiers_lowercased(self):
+        assert values("MyTable my_col2") == ["mytable", "my_col2"]
+
+    def test_numbers(self):
+        assert values("42 3.25") == [42, 3.25]
+        assert isinstance(values("42")[0], int)
+        assert isinstance(values("3.25")[0], float)
+
+    def test_negative_number_after_operator(self):
+        tokens = tokenize("x = -5")
+        assert tokens[2].value == -5
+
+    def test_strings_with_escaped_quotes(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_line_comments_skipped(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_whitespace_ignored(self):
+        assert len(tokenize("  \n\t ")) == 1  # only EOF
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_each_operator(self, op):
+        token = tokenize(f"a {op} 1")[1]
+        assert token.type is TokenType.OPERATOR
+        assert token.value == op
+
+    def test_angle_bracket_inequality(self):
+        assert tokenize("a <> 1")[1].value == "!="
+
+    def test_bare_bang_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("a ! 1")
+
+    def test_punct(self):
+        assert values("( ) , . *") == ["(", ")", ",", ".", "*"]
+
+
+class TestMarkers:
+    def test_positional_markers_auto_named(self):
+        tokens = [t for t in tokenize("a = ? AND b = ?") if t.type is TokenType.MARKER]
+        assert [t.value for t in tokens] == ["p1", "p2"]
+
+    def test_named_markers(self):
+        tokens = [t for t in tokenize("a = :low AND b = :hi") if t.type is TokenType.MARKER]
+        assert [t.value for t in tokens] == ["low", "hi"]
+
+    def test_bare_colon_rejected(self):
+        with pytest.raises(ParseError, match="parameter name"):
+            tokenize("a = : 5")
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError, match="unexpected character"):
+        tokenize("a # b")
+
+
+def test_positions_recorded():
+    tokens = tokenize("select a")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 7
+
+
+class TestScientificNotation:
+    def test_plain_exponent(self):
+        assert values("1e9") == [1e9]
+
+    def test_signed_exponent(self):
+        assert values("2.5E-3 1e+6") == [2.5e-3, 1e6]
+
+    def test_exponent_values_are_floats(self):
+        assert all(isinstance(v, float) for v in values("1e9 2E2"))
+
+    def test_bare_e_is_identifier(self):
+        assert values("3e") == [3, "e"]

@@ -1,0 +1,140 @@
+"""Tests for the SQL parser (AST shape, not binding)."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.sql.ast_nodes import (
+    AndExpr,
+    BetweenExpr,
+    ComparisonExpr,
+    Constant,
+    InExpr,
+    LikeExpr,
+    Marker,
+    OrExpr,
+    SelectAggregate,
+    SelectColumn,
+)
+from repro.sql.parser import parse_sql
+
+
+class TestSelectList:
+    def test_plain_columns(self):
+        stmt = parse_sql("SELECT a.x, y FROM t a")
+        assert isinstance(stmt.select[0], SelectColumn)
+        assert stmt.select[0].column.table == "a"
+        assert stmt.select[1].column.table is None
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a.x AS foo, a.y bar FROM t a")
+        assert stmt.select[0].alias == "foo"
+        assert stmt.select[1].alias == "bar"
+
+    def test_aggregates(self):
+        stmt = parse_sql("SELECT count(*) AS n, sum(a.x) FROM t a")
+        assert isinstance(stmt.select[0], SelectAggregate)
+        assert stmt.select[0].argument is None
+        assert stmt.select[1].func == "sum"
+
+    def test_star_only_for_count(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT avg(*) FROM t")
+
+    def test_distinct_flag(self):
+        assert parse_sql("SELECT DISTINCT a.x FROM t a").distinct
+        assert not parse_sql("SELECT a.x FROM t a").distinct
+
+
+class TestFrom:
+    def test_comma_list_with_aliases(self):
+        stmt = parse_sql("SELECT x FROM t1 a, t2 AS b, t3")
+        assert [(t.table, t.alias) for t in stmt.tables] == [
+            ("t1", "a"), ("t2", "b"), ("t3", "t3"),
+        ]
+
+    def test_join_on_syntax_merges_into_where(self):
+        stmt = parse_sql("SELECT x FROM t a JOIN u b ON a.k = b.k WHERE a.y = 1")
+        assert isinstance(stmt.where, AndExpr)
+        assert len(stmt.where.children) == 2
+
+    def test_inner_join_keyword(self):
+        stmt = parse_sql("SELECT x FROM t a INNER JOIN u b ON a.k = b.k")
+        assert isinstance(stmt.where, ComparisonExpr)
+
+
+class TestConditions:
+    def test_and_flattening(self):
+        stmt = parse_sql("SELECT x FROM t WHERE a = 1 AND b = 2 AND c = 3")
+        assert isinstance(stmt.where, AndExpr)
+        assert len(stmt.where.children) == 3
+
+    def test_or_grouping(self):
+        stmt = parse_sql("SELECT x FROM t WHERE a = 1 OR b = 2")
+        assert isinstance(stmt.where, OrExpr)
+
+    def test_parenthesized_or_inside_and(self):
+        stmt = parse_sql("SELECT x FROM t WHERE (a = 1 OR a = 2) AND b = 3")
+        assert isinstance(stmt.where, AndExpr)
+        assert isinstance(stmt.where.children[0], OrExpr)
+
+    def test_between(self):
+        stmt = parse_sql("SELECT x FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, BetweenExpr)
+        assert stmt.where.low == Constant(1)
+        assert stmt.where.high == Constant(5)
+
+    def test_in_list(self):
+        stmt = parse_sql("SELECT x FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, InExpr)
+        assert stmt.where.values == (1, 2, 3)
+
+    def test_like(self):
+        stmt = parse_sql("SELECT x FROM t WHERE s LIKE 'ab%'")
+        assert isinstance(stmt.where, LikeExpr)
+        assert stmt.where.pattern == "ab%"
+
+    def test_like_requires_string(self):
+        with pytest.raises(ParseError, match="string pattern"):
+            parse_sql("SELECT x FROM t WHERE s LIKE 5")
+
+    def test_markers(self):
+        stmt = parse_sql("SELECT x FROM t WHERE a = ? AND b = :named")
+        left, right = stmt.where.children
+        assert left.right == Marker("p1")
+        assert right.right == Marker("named")
+
+    def test_column_to_column(self):
+        stmt = parse_sql("SELECT x FROM t a, u b WHERE a.k = b.k")
+        assert isinstance(stmt.where, ComparisonExpr)
+        assert stmt.where.left.table == "a"
+        assert stmt.where.right.table == "b"
+
+    def test_missing_predicate_operator(self):
+        with pytest.raises(ParseError, match="predicate operator"):
+            parse_sql("SELECT x FROM t WHERE a")
+
+
+class TestTrailingClauses:
+    def test_group_by(self):
+        stmt = parse_sql("SELECT g, count(*) n FROM t GROUP BY g")
+        assert len(stmt.group_by) == 1
+        assert stmt.group_by[0].column == "g"
+
+    def test_order_by_directions(self):
+        stmt = parse_sql("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit(self):
+        assert parse_sql("SELECT x FROM t LIMIT 5").limit == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_sql("SELECT x FROM t LIMIT 2.5")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_sql("SELECT x FROM t LIMIT 5 WAT")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT x")

@@ -1,0 +1,89 @@
+"""Tests for repro.storage.table."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.common.values import DataType
+from repro.storage.table import PAGE_SIZE, Column, Schema, Table
+
+
+def make_schema() -> Schema:
+    return Schema.of(("id", "int"), ("name", "str"), ("score", "float"))
+
+
+class TestSchema:
+    def test_of_builds_columns(self):
+        schema = make_schema()
+        assert schema.names() == ["id", "name", "score"]
+        assert schema.column("score").dtype is DataType.FLOAT
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of(("a", "int"), ("a", "str"))
+
+    def test_index_of(self):
+        schema = make_schema()
+        assert schema.index_of("name") == 1
+        with pytest.raises(SchemaError, match="no column"):
+            schema.index_of("missing")
+
+    def test_has_column(self):
+        schema = make_schema()
+        assert schema.has_column("id")
+        assert not schema.has_column("nope")
+
+    def test_len_and_iter(self):
+        schema = make_schema()
+        assert len(schema) == 3
+        assert [c.name for c in schema] == ["id", "name", "score"]
+
+    def test_row_width_counts_column_widths(self):
+        schema = make_schema()
+        assert schema.row_width == 8 + 24 + 8
+
+    def test_accepts_column_instances(self):
+        schema = Schema.of(Column("x", DataType.INT))
+        assert schema.names() == ["x"]
+
+
+class TestTable:
+    def test_insert_returns_rid(self):
+        table = Table("t", make_schema())
+        assert table.insert((1, "a", 0.5)) == 0
+        assert table.insert((2, "b", 1.5)) == 1
+        assert table.row_count == 2
+
+    def test_insert_coerces(self):
+        table = Table("t", make_schema())
+        table.insert(("3", 7, "2.5"))
+        assert table.fetch(0) == (3, "7", 2.5)
+
+    def test_insert_wrong_arity(self):
+        table = Table("t", make_schema())
+        with pytest.raises(SchemaError, match="expected 3 values"):
+            table.insert((1, "a"))
+
+    def test_scan_yields_rids_in_order(self):
+        table = Table("t", make_schema())
+        table.insert_many([(i, str(i), float(i)) for i in range(5)])
+        assert [rid for rid, _ in table.scan()] == [0, 1, 2, 3, 4]
+
+    def test_column_values(self):
+        table = Table("t", make_schema())
+        table.insert_many([(1, "a", 1.0), (2, "b", 2.0)])
+        assert table.column_values("name") == ["a", "b"]
+
+    def test_load_raw_skips_validation(self):
+        table = Table("t", make_schema())
+        table.load_raw([(1, "a", 1.0)])
+        assert table.row_count == 1
+
+    def test_page_count_minimum_one(self):
+        table = Table("t", make_schema())
+        assert table.page_count == 1
+
+    def test_page_count_grows_with_rows(self):
+        table = Table("t", make_schema())
+        rows_per_page = PAGE_SIZE // table.schema.row_width
+        table.load_raw([(0, "x", 0.0)] * (rows_per_page * 3))
+        assert table.page_count == 3

@@ -1,0 +1,142 @@
+"""Tests for the TPC-H and DMV workload generators and query sets."""
+
+import collections
+
+import pytest
+
+from repro.workloads.dmv import schema as dmv_schema
+from repro.workloads.dmv.generator import DmvScale, generate_dmv
+from repro.workloads.dmv.queries import dmv_queries
+from repro.workloads.tpch.generator import TpchScale, generate_tpch
+from repro.workloads.tpch.queries import Q10_MARKER, TPCH_QUERIES
+from repro.workloads.tpch.schema import SHIPMODE_COUNT
+
+
+class TestTpchGenerator:
+    def test_scale_derivation(self):
+        scale = TpchScale.of(0.01)
+        assert scale.customer == 1500
+        assert scale.orders == 15000
+
+    def test_fixed_small_tables(self):
+        data = generate_tpch(0.002)
+        assert len(data["region"]) == 5
+        assert len(data["nation"]) == 25
+
+    def test_relative_sizes(self):
+        data = generate_tpch(0.002)
+        assert len(data["lineitem"]) > len(data["orders"]) > len(data["customer"])
+        assert len(data["partsupp"]) == 4 * len(data["part"])
+
+    def test_determinism(self):
+        a = generate_tpch(0.002, seed=5)
+        b = generate_tpch(0.002, seed=5)
+        assert a["lineitem"] == b["lineitem"]
+
+    def test_seed_changes_data(self):
+        a = generate_tpch(0.002, seed=5)
+        b = generate_tpch(0.002, seed=6)
+        assert a["lineitem"] != b["lineitem"]
+
+    def test_foreign_keys_valid(self):
+        data = generate_tpch(0.002)
+        customers = {row[0] for row in data["customer"]}
+        assert all(o[1] in customers for o in data["orders"])
+        orders = {row[0] for row in data["orders"]}
+        assert all(l[0] in orders for l in data["lineitem"])
+
+    def test_shipmode_skew_spans_orders_of_magnitude(self):
+        data = generate_tpch(0.01)
+        counts = collections.Counter(row[10] for row in data["lineitem"])
+        assert len(counts) == SHIPMODE_COUNT
+        top = counts.most_common(1)[0][1]
+        bottom = min(counts.values())
+        assert top / max(1, bottom) > 50  # the Figure 11 sweep range
+
+
+class TestTpchQueries:
+    @pytest.mark.parametrize("name", sorted(TPCH_QUERIES))
+    def test_query_binds(self, tpch_db, name):
+        query = tpch_db._to_query(TPCH_QUERIES[name])
+        assert query.tables
+
+    @pytest.mark.parametrize("name", ["Q3", "Q4", "Q10", "Q11"])
+    def test_query_runs_with_and_without_pop(self, tpch_db, name):
+        from tests.conftest import canonical
+
+        with_pop = tpch_db.execute(TPCH_QUERIES[name])
+        without = tpch_db.execute_without_pop(TPCH_QUERIES[name])
+        assert canonical(with_pop.rows) == canonical(without.rows)
+
+    def test_q10_marker_has_parameter(self, tpch_db):
+        query = tpch_db._to_query(Q10_MARKER)
+        assert query.parameter_names() == ["p1"]
+
+
+class TestDmvGenerator:
+    SCALE = DmvScale(
+        owners=800, cars=1000, accidents=200, violations=300,
+        insurance=1000, dealers=60, inspections=600, registrations=1000,
+    )
+
+    def test_row_counts(self):
+        data = generate_dmv(self.SCALE)
+        assert len(data["car"]) == 1000
+        assert len(data["owner"]) == 800
+
+    def test_model_determines_make(self):
+        """The MAKE↔MODEL functional dependency (paper §6)."""
+        data = generate_dmv(self.SCALE)
+        model_to_make = {}
+        for row in data["car"]:
+            make, model = row[2], row[3]
+            assert model_to_make.setdefault(model, make) == make
+
+    def test_weight_tracks_model(self):
+        data = generate_dmv(self.SCALE)
+        by_model = collections.defaultdict(list)
+        for row in data["car"]:
+            by_model[row[3]].append(row[5])
+        for weights in by_model.values():
+            assert max(weights) - min(weights) <= 80  # +/-40 band
+
+    def test_zip_correlation(self):
+        """A car is registered in its owner's zip ~90% of the time."""
+        data = generate_dmv(self.SCALE)
+        owner_zip = {row[0]: row[4] for row in data["owner"]}
+        same = sum(1 for c in data["car"] if c[7] == owner_zip[c[1]])
+        assert same / len(data["car"]) > 0.8
+
+    def test_color_correlated_with_make(self):
+        data = generate_dmv(self.SCALE)
+        by_make = collections.defaultdict(collections.Counter)
+        for row in data["car"]:
+            by_make[row[2]][row[4]] += 1
+        dominant = 0
+        total = 0
+        for make, counter in by_make.items():
+            if sum(counter.values()) < 30:
+                continue
+            top3 = sum(c for _, c in counter.most_common(3))
+            dominant += top3
+            total += sum(counter.values())
+        assert total and dominant / total > 0.7
+
+    def test_determinism(self):
+        assert generate_dmv(self.SCALE, seed=3) == generate_dmv(self.SCALE, seed=3)
+
+
+class TestDmvQueries:
+    def test_exactly_39_queries(self):
+        queries = dmv_queries()
+        assert len(queries) == 39
+        assert len({name for name, _ in queries}) == 39
+
+    @pytest.mark.parametrize("idx", range(0, 39, 4))
+    def test_queries_run_on_tiny_scale(self, dmv_db, idx):
+        from tests.conftest import canonical
+
+        name, sql = dmv_queries()[idx]
+        pop = dmv_db.execute(sql)
+        base = dmv_db.execute_without_pop(sql)
+        assert canonical(pop.rows) == canonical(base.rows), name
