@@ -21,6 +21,7 @@ from repro.core.database import Database, Result
 from repro.core.driver import PopDriver, PopReport
 from repro.core.flavors import ALL_FLAVORS, DEFAULT_FLAVORS, TABLE1
 from repro.core.learning import LearnedCardinalities
+from repro.obs import MetricsRegistry, Tracer
 from repro.plan.analyze import explain_analyze
 from repro.optimizer.costmodel import CostParams, DEFAULT_COST_PARAMS
 from repro.optimizer.enumeration import OptimizerOptions
@@ -62,6 +63,8 @@ __all__ = [
     "JoinPredicate",
     "ALL_FLAVORS",
     "LearnedCardinalities",
+    "Tracer",
+    "MetricsRegistry",
     "explain_analyze",
     "DEFAULT_FLAVORS",
     "TABLE1",

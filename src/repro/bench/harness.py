@@ -20,6 +20,11 @@ class RunOutcome:
     rows: int
     final_join_order: str
     report: PopReport
+    #: Metric snapshot taken right after the run (``None`` unless a
+    #: registry was passed to :func:`run_once`); gives benchmark tables
+    #: overhead/robustness columns (q-error histogram, work by category,
+    #: check evaluations) without bespoke plumbing.
+    metrics_snapshot: Optional[dict] = None
 
 
 def run_once(
@@ -28,13 +33,22 @@ def run_once(
     params: Optional[dict[str, Any]] = None,
     pop: Optional[PopConfig] = None,
     lc_above_hash_build: bool = False,
+    metrics=None,
+    tracer=None,
 ) -> RunOutcome:
-    """Execute a statement and summarize the outcome."""
+    """Execute a statement and summarize the outcome.
+
+    ``metrics`` / ``tracer`` (see :mod:`repro.obs`) are optional; when a
+    registry is given, its post-run snapshot is attached to the outcome.
+    Both default to off, leaving measured work units untouched.
+    """
     query = db._to_query(statement)
     driver = PopDriver(
         db.optimizer,
         pop if pop is not None else PopConfig(),
         lc_above_hash_build=lc_above_hash_build,
+        tracer=tracer,
+        metrics=metrics,
     )
     rows, report = driver.run(query, params=params)
     return RunOutcome(
@@ -43,6 +57,7 @@ def run_once(
         rows=len(rows),
         final_join_order=join_order(report.final_plan),
         report=report,
+        metrics_snapshot=metrics.snapshot() if metrics is not None else None,
     )
 
 

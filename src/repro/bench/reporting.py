@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Iterable, Sequence
 
 
@@ -35,10 +36,16 @@ def _fmt(cell) -> str:
 
 
 def results_dir() -> str:
-    """The directory benchmark outputs are written to."""
-    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    """The directory benchmark outputs are written to.
+
+    Defaults to ``<repo>/benchmarks/results`` — this file lives at
+    ``src/repro/bench/reporting.py``, so the repo root is three parents up
+    — and is created (including parents) when missing.  Override with
+    ``REPRO_BENCH_RESULTS``.
+    """
+    repo_root = Path(__file__).resolve().parents[3]
     path = os.environ.get(
-        "REPRO_BENCH_RESULTS", os.path.join(here, "benchmarks", "results")
+        "REPRO_BENCH_RESULTS", str(repo_root / "benchmarks" / "results")
     )
     os.makedirs(path, exist_ok=True)
     return path

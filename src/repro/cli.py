@@ -17,6 +17,7 @@ from typing import Any, Callable, Optional, TextIO
 from repro import Database, NO_POP, PopConfig
 from repro.common.errors import ReproError
 from repro.core.flavors import ALL_FLAVORS
+from repro.obs import MetricsRegistry, Tracer
 
 HELP = """\
 meta commands:
@@ -36,6 +37,10 @@ meta commands:
   \\set NAME VALUE           bind a parameter for ? / :name markers
   \\params                   show current parameter bindings
   \\timing on|off            print work units and wall time per statement
+  \\trace on|off [FILE]      record a JSONL execution trace (spans/events
+                            for optimize, checkpoint placement, execution,
+                            re-optimization; default file repro_trace.jsonl)
+  \\metrics [reset]          show (or reset) collected engine metrics
   \\q                        quit
 SQL statements end with ';'."""
 
@@ -56,6 +61,13 @@ class Shell:
         self.params: dict[str, Any] = {}
         self.timing = True
         self.running = True
+        #: Engine metrics accumulate across the session; ``\metrics`` shows
+        #: them, ``\metrics reset`` clears them.
+        self.metrics = MetricsRegistry()
+        #: Tracing is off until ``\trace on``; the trace file is rewritten
+        #: after every statement so one-shot runs still leave a trace.
+        self.tracer: Optional[Tracer] = None
+        self.trace_path: Optional[str] = None
 
     # ---------------------------------------------------------------- output
 
@@ -168,10 +180,18 @@ class Shell:
 
         sql = " ".join(args).rstrip(";")
         try:
-            result = self.db.execute(sql, params=self.params, pop=self._config())
+            result = self.db.execute(
+                sql,
+                params=self.params,
+                pop=self._config(),
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
         except ReproError as exc:
             self.write(f"error: {exc}")
             return
+        finally:
+            self._flush_trace()
         self.write(explain_analyze(result.report))
         self.write(
             f"{len(result.rows)} row(s), "
@@ -257,6 +277,38 @@ class Shell:
             self.timing = args[0] == "on"
         self.write(f"timing is {'on' if self.timing else 'off'}")
 
+    def _meta_trace(self, args) -> None:
+        if not args:
+            if self.tracer is None:
+                self.write("tracing is off")
+            else:
+                self.write(f"tracing is on -> {self.trace_path}")
+            return
+        if args[0] == "on":
+            self.trace_path = args[1] if len(args) > 1 else "repro_trace.jsonl"
+            self.tracer = Tracer()
+            self.write(f"tracing on -> {self.trace_path}")
+        elif args[0] == "off":
+            if self.tracer is not None and self.trace_path is not None:
+                self.tracer.write_jsonl(self.trace_path)
+                self.write(
+                    f"tracing off ({len(self.tracer.records)} record(s) "
+                    f"written to {self.trace_path})"
+                )
+            else:
+                self.write("tracing off")
+            self.tracer = None
+            self.trace_path = None
+        else:
+            self.write("usage: \\trace on|off [FILE]")
+
+    def _meta_metrics(self, args) -> None:
+        if args and args[0] == "reset":
+            self.metrics.reset()
+            self.write("metrics reset")
+            return
+        self.write(self.metrics.render_text())
+
     # ------------------------------------------------------------------ SQL
 
     def _config(self) -> PopConfig:
@@ -266,12 +318,31 @@ class Shell:
             return PopConfig(flavors=self.flavors)
         return PopConfig()
 
+    def _flush_trace(self) -> None:
+        """Rewrite the trace file with everything recorded so far."""
+        if self.tracer is not None and self.trace_path is not None:
+            try:
+                self.tracer.write_jsonl(self.trace_path)
+            except OSError as exc:
+                self.write(f"error: cannot write trace to {self.trace_path}: {exc}")
+                self.write("tracing disabled")
+                self.tracer = None
+                self.trace_path = None
+
     def execute_sql(self, sql: str) -> None:
         try:
-            result = self.db.execute(sql, params=self.params, pop=self._config())
+            result = self.db.execute(
+                sql,
+                params=self.params,
+                pop=self._config(),
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
         except ReproError as exc:
             self.write(f"error: {exc}")
             return
+        finally:
+            self._flush_trace()
         widths = [max(len(c), 10) for c in result.columns]
         self.write("  ".join(c.ljust(w) for c, w in zip(result.columns, widths)))
         self.write("  ".join("-" * w for w in widths))

@@ -127,11 +127,18 @@ class Database:
         params: Optional[dict[str, Any]] = None,
         pop: Optional[PopConfig] = None,
         meter: Optional[WorkMeter] = None,
+        tracer=None,
+        metrics=None,
     ) -> Result:
-        """Run a statement; POP is enabled by default."""
+        """Run a statement; POP is enabled by default.
+
+        ``tracer`` / ``metrics`` (see :mod:`repro.obs`) attach structured
+        tracing and metric collection to this statement; both default to
+        off, which costs nothing.
+        """
         query = self._to_query(statement)
         config = pop if pop is not None else PopConfig()
-        driver = PopDriver(self.optimizer, config)
+        driver = PopDriver(self.optimizer, config, tracer=tracer, metrics=metrics)
         feedback = self.learning.seed() if self.learning is not None else None
         rows, report = driver.run(
             query, params=params, meter=meter, feedback=feedback

@@ -39,6 +39,28 @@ from repro.plan.physical import AntiJoin, MVScan, PlanOp, Return, find_ops
 #: Harvest configuration for completed runs: feedback only, no temp MVs.
 _FEEDBACK_ONLY = PopConfig(reuse_policy="never")
 
+#: Operators whose output cardinality is not an estimate of a relational
+#: edge (checkpoints count, RETURN may be LIMIT-cut, ...) — excluded from
+#: the q-error histogram.
+_QERROR_EXCLUDED = frozenset({"CHECK", "BUFCHECK", "RETURN", "ANTIJOIN"})
+
+
+def record_qerrors(metrics, plan: PlanOp, actual_cards: dict) -> None:
+    """Feed per-operator |estimated/actual| into ``estimate.error.qerror``.
+
+    Only operators that reached end-of-stream contribute (their counts are
+    exact cardinalities, the same eligibility rule the feedback store uses).
+    """
+    for op in find_ops(plan, PlanOp):
+        if op.KIND in _QERROR_EXCLUDED or op.op_id is None:
+            continue
+        actual = actual_cards.get(op.op_id)
+        if actual is None or not actual[1]:
+            continue
+        est = max(float(op.est_card), 1.0)
+        act = max(float(actual[0]), 1.0)
+        metrics.observe("estimate.error.qerror", max(est / act, act / est))
+
 
 def _collect_actuals(ctx: ExecutionContext) -> dict:
     """Snapshot per-operator runtime counters for EXPLAIN ANALYZE."""
@@ -131,11 +153,19 @@ class PopDriver:
         optimizer: Optimizer,
         config: Optional[PopConfig] = None,
         lc_above_hash_build: bool = False,
+        tracer=None,
+        metrics=None,
     ):
         self.optimizer = optimizer
         self.catalog = optimizer.catalog
         self.config = config if config is not None else PopConfig()
         self.lc_above_hash_build = lc_above_hash_build
+        #: Optional :class:`repro.obs.Tracer` — one span per statement,
+        #: attempt, optimizer call, placement pass, and execution; events
+        #: for CHECK evaluations, re-optimization signals, and harvests.
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.MetricsRegistry`.
+        self.metrics = metrics
 
     # ------------------------------------------------------------------- run
 
@@ -153,7 +183,10 @@ class PopDriver:
         """
         config = self.config
         cost_model = self.optimizer.cost_model
-        meter = meter if meter is not None else WorkMeter()
+        tracer = self.tracer
+        metrics = self.metrics
+        if meter is None:
+            meter = WorkMeter(track_categories=metrics is not None)
         feedback = feedback if feedback is not None else CardinalityFeedback()
         reopt_limit = config.reopt_limit_for(query)
         compensation: Counter = Counter()
@@ -161,16 +194,55 @@ class PopDriver:
         attempts: list[AttemptReport] = []
         self._apply_reuse_policy()
         started = time.perf_counter()
+        stmt_span = None
+        if tracer is not None:
+            tracer.bind_meter(meter)
+            stmt_span = tracer.start_span(
+                "pop.statement",
+                pop=config.enabled,
+                tables=len(query.tables),
+                reopt_limit=reopt_limit,
+            )
+        if metrics is not None:
+            metrics.inc("pop.statements")
         attempt = 0
         while True:
+            attempt_span = (
+                tracer.start_span("pop.attempt", parent=stmt_span, attempt=attempt)
+                if tracer is not None
+                else None
+            )
             units_before_opt = meter.snapshot()
+            opt_span = (
+                tracer.start_span("optimizer.optimize", parent=attempt_span)
+                if tracer is not None
+                else None
+            )
             opt = self.optimizer.optimize(
                 query, feedback if config.use_feedback else None
             )
-            meter.charge(cost_model.reoptimization_cost(opt.plans_enumerated))
+            meter.charge(
+                cost_model.reoptimization_cost(opt.plans_enumerated), "optimize"
+            )
             opt_units = meter.snapshot() - units_before_opt
+            if tracer is not None:
+                tracer.end_span(
+                    opt_span,
+                    plans_enumerated=opt.plans_enumerated,
+                    newton_iterations=opt.newton_iterations,
+                    est_cost=opt.plan.est_cost,
+                )
+            if metrics is not None:
+                metrics.inc("optimizer.invocations")
+                metrics.inc("optimizer.plans_enumerated", opt.plans_enumerated)
+                metrics.inc("optimizer.newton_iterations", opt.newton_iterations)
 
             can_reopt = config.enabled and attempt < reopt_limit
+            place_span = (
+                tracer.start_span("pop.place_checkpoints", parent=attempt_span)
+                if tracer is not None
+                else None
+            )
             if can_reopt:
                 placement = place_checkpoints(
                     opt.plan,
@@ -178,11 +250,15 @@ class PopDriver:
                     cost_model,
                     is_spj=not (query.has_aggregates or query.distinct),
                     lc_above_hash_build=self.lc_above_hash_build,
+                    tracer=tracer,
+                    metrics=metrics,
                 )
             else:
                 placement = place_checkpoints(
                     opt.plan, PopConfig(enabled=False), cost_model
                 )
+            if tracer is not None:
+                tracer.end_span(place_span, checkpoints=placement.count)
             plan = placement.plan
             if compensation:
                 plan = self._wrap_compensation(plan)
@@ -202,8 +278,14 @@ class PopDriver:
                     set(config.force_trigger_op_ids) if attempt == 0 else set()
                 ),
                 work_budget=budget,
+                tracer=tracer,
+                metrics=metrics,
             )
             ctx.compensation = compensation
+            if tracer is not None:
+                ctx.exec_span_id = tracer.start_span(
+                    "pop.execute", parent=attempt_span, checkpoints=placement.count
+                )
             sink: list[tuple] = []
             units_before_exec = meter.snapshot()
             report = AttemptReport(
@@ -228,6 +310,18 @@ class PopDriver:
                 report.signal_reason = signal.reason
                 report.rows_emitted = ctx.rows_returned
                 attempts.append(report)
+                if tracer is not None:
+                    tracer.event(
+                        "pop.reoptimize",
+                        span=ctx.exec_span_id,
+                        op_id=report.signal_op_id,
+                        flavor=report.signal_flavor,
+                        observed=report.signal_observed,
+                        complete=report.signal_complete,
+                        reason=report.signal_reason,
+                    )
+                if metrics is not None:
+                    metrics.inc("pop.reoptimizations", reason=signal.reason)
                 if ctx.rows_returned:
                     # Only compensating flavors may fire after rows went out.
                     if report.signal_flavor != "ECDC":
@@ -238,7 +332,15 @@ class PopDriver:
                     for row in sink:
                         compensation[row] += 1
                     delivered.extend(sink)
-                harvest_execution_state(ctx, signal, feedback, self.catalog, config)
+                    if metrics is not None:
+                        metrics.inc("pop.compensation_rows", len(sink))
+                registered = harvest_execution_state(
+                    ctx, signal, feedback, self.catalog, config
+                )
+                self._observe_attempt(
+                    ctx, report, attempt_span, interrupted=True,
+                    harvested_mvs=registered,
+                )
                 attempt += 1
                 continue
             # Success.
@@ -254,10 +356,23 @@ class PopDriver:
                 harvest_execution_state(
                     ctx, None, feedback, self.catalog, _FEEDBACK_ONLY
                 )
+            self._observe_attempt(ctx, report, attempt_span, interrupted=False)
             break
 
         self.catalog.clear_temp_mvs()
         wall = time.perf_counter() - started
+        if metrics is not None:
+            metrics.inc("pop.attempts", len(attempts))
+            for category, units in meter.by_category().items():
+                metrics.set_gauge("work.units", units, category=category)
+        if tracer is not None:
+            tracer.end_span(
+                stmt_span,
+                attempts=len(attempts),
+                reoptimizations=sum(1 for a in attempts if a.reoptimized),
+                total_units=meter.snapshot(),
+                rows=len(delivered),
+            )
         return delivered, PopReport(
             attempts=attempts,
             total_units=meter.snapshot(),
@@ -266,6 +381,47 @@ class PopDriver:
         )
 
     # -------------------------------------------------------------- internals
+
+    def _observe_attempt(
+        self,
+        ctx: ExecutionContext,
+        report: AttemptReport,
+        attempt_span,
+        interrupted: bool,
+        harvested_mvs: Optional[list] = None,
+    ) -> None:
+        """Flush one attempt's observability state (no-op when unconfigured)."""
+        tracer = self.tracer
+        metrics = self.metrics
+        if metrics is not None:
+            for op in ctx.operators:
+                if op.rows_out:
+                    metrics.inc("executor.rows", op.rows_out, op=op.plan.KIND)
+            if report.reused_mvs:
+                metrics.inc("pop.mv_reuses", len(report.reused_mvs))
+            record_qerrors(metrics, report.plan, report.actual_cards)
+        if tracer is not None:
+            ctx.finalize_operator_spans()
+            if harvested_mvs is not None:
+                tracer.event(
+                    "pop.harvest",
+                    span=attempt_span,
+                    temp_mvs=len(harvested_mvs),
+                    names=list(harvested_mvs),
+                )
+            tracer.end_span(
+                ctx.exec_span_id,
+                rows=ctx.rows_returned,
+                interrupted=interrupted,
+            )
+            tracer.end_span(
+                attempt_span,
+                join_order=report.join_order,
+                execution_units=report.execution_units,
+                optimization_units=report.optimization_units,
+                reused_mvs=list(report.reused_mvs),
+                interrupted=interrupted,
+            )
 
     def _apply_reuse_policy(self) -> None:
         options = self.optimizer.options

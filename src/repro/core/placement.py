@@ -89,11 +89,15 @@ class CheckpointPlacer:
         cost_model: CostModel,
         is_spj: bool,
         lc_above_hash_build: bool = False,
+        tracer=None,
+        metrics=None,
     ):
         self.config = config
         self.cost_model = cost_model
         self.is_spj = is_spj
         self.lc_above_hash_build = lc_above_hash_build
+        self.tracer = tracer
+        self.metrics = metrics
         self.checkpoints: list[PlanOp] = []
 
     def place(self, root: PlanOp) -> PlacementResult:
@@ -102,7 +106,27 @@ class CheckpointPlacer:
             return PlacementResult(root, [])
         new_root = self._rewrite(root)
         number_plan(new_root)
+        self._report_placements()
         return PlacementResult(new_root, self.checkpoints)
+
+    def _report_placements(self) -> None:
+        """Emit one event/count per placed checkpoint (after numbering)."""
+        if self.tracer is None and self.metrics is None:
+            return
+        for check in self.checkpoints:
+            flavor = getattr(check, "flavor", "ECB")
+            rng = check.check_range
+            if self.metrics is not None:
+                self.metrics.inc("checkpoints.placed", flavor=flavor)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "checkpoint.placed",
+                    op_id=check.op_id,
+                    flavor=flavor,
+                    low=rng.low,
+                    high=rng.high,
+                    below=check.children[0].KIND,
+                )
 
     # ------------------------------------------------------------- internals
 
@@ -187,7 +211,12 @@ def place_checkpoints(
     cost_model: CostModel,
     is_spj: bool = True,
     lc_above_hash_build: bool = False,
+    tracer=None,
+    metrics=None,
 ) -> PlacementResult:
     """Convenience wrapper around :class:`CheckpointPlacer`."""
-    placer = CheckpointPlacer(config, cost_model, is_spj, lc_above_hash_build)
+    placer = CheckpointPlacer(
+        config, cost_model, is_spj, lc_above_hash_build,
+        tracer=tracer, metrics=metrics,
+    )
     return placer.place(root)

@@ -75,12 +75,22 @@ class ExecutionContext:
         force_trigger_op_ids: Optional[set[int]] = None,
         disabled_check_op_ids: Optional[set[int]] = None,
         work_budget: Optional[float] = None,
+        tracer=None,
+        metrics=None,
     ):
         self.catalog = catalog
         self.params = params if params is not None else {}
         self.cost_params = cost_params
         self.cost_model = CostModel(cost_params)
         self.meter = meter if meter is not None else WorkMeter()
+        #: Optional :class:`repro.obs.Tracer`; ``None`` disables tracing and
+        #: reduces every instrumentation site to one comparison.
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.MetricsRegistry` (same contract).
+        self.metrics = metrics
+        #: Span id of the enclosing ``pop.execute`` span, set by the driver;
+        #: operator spans and checkpoint events attach to it.
+        self.exec_span_id: Optional[int] = None
         #: When True, CHECK violations are logged, not raised (Fig. 14 mode).
         self.dry_run_checks = dry_run_checks
         #: CHECKs whose op_id is listed fire even inside their range
@@ -102,6 +112,37 @@ class ExecutionContext:
 
     def log_checkpoint(self, event: CheckpointEvent) -> None:
         self.checkpoint_events.append(event)
+        if self.metrics is not None:
+            self.metrics.inc(
+                "check.evaluations",
+                flavor=event.flavor,
+                triggered=event.triggered,
+            )
+        if self.tracer is not None:
+            self.tracer.event(
+                "check.evaluate",
+                span=self.exec_span_id,
+                op_id=event.op_id,
+                flavor=event.flavor,
+                observed=event.observed,
+                low=event.low,
+                high=event.high,
+                complete=event.complete,
+                triggered=event.triggered,
+            )
+
+    def finalize_operator_spans(self) -> None:
+        """Close every operator's trace span with its final counters.
+
+        A :class:`ReoptimizationSignal` unwinds the operator tree without
+        calling ``close``; the driver invokes this after every attempt so
+        interrupted operators still report rows-out and EOF state
+        (``end_span`` is idempotent, so already-closed operators are safe).
+        """
+        if self.tracer is None:
+            return
+        for op in self.operators:
+            op.end_span()
 
 
 class Operator:
@@ -113,6 +154,7 @@ class Operator:
         self.rows_out = 0
         self.eof_seen = False
         self._open = False
+        self._span_id: Optional[int] = None
         ctx.register(self)
 
     # -- protocol ---------------------------------------------------------
@@ -120,6 +162,17 @@ class Operator:
     def open(self) -> None:
         """Prepare for iteration (children recursively)."""
         self._open = True
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            # Span covers open → close; u1-u0 includes the subtree's work
+            # (children open/iterate inside this interval).
+            self._span_id = tracer.start_span(
+                f"op.{self.plan.KIND}",
+                parent=self.ctx.exec_span_id,
+                op_id=self.plan.op_id,
+                op=self.plan.describe(),
+                est_card=self.plan.est_card,
+            )
 
     def next(self) -> Optional[tuple]:
         """The next output row, or ``None`` at end-of-stream."""
@@ -127,6 +180,16 @@ class Operator:
 
     def close(self) -> None:
         self._open = False
+        self.end_span()
+
+    def end_span(self) -> None:
+        """Finish this operator's trace span with final row counters."""
+        tracer = self.ctx.tracer
+        if tracer is not None and self._span_id is not None:
+            tracer.end_span(
+                self._span_id, rows_out=self.rows_out, eof=self.eof_seen
+            )
+            self._span_id = None
 
     # -- shared helpers ----------------------------------------------------
 

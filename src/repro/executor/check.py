@@ -88,7 +88,7 @@ class CheckExec(Operator):
     def next(self) -> Optional[tuple]:
         self.require_open()
         row = self.child.next()
-        self.ctx.meter.charge(self.ctx.cost_params.cpu_check)
+        self.ctx.meter.charge(self.ctx.cost_params.cpu_check, "check")
         if row is None:
             self.finish()
             if not self._disabled and not self._evaluated_once:
@@ -157,7 +157,7 @@ class BufCheckExec(Operator):
                 # and continue pipelined (the ECB "morphs into" streaming).
                 break
             row = self.child.next()
-            self.ctx.meter.charge(p.cpu_check + p.cpu_temp_insert)
+            self.ctx.meter.charge(p.cpu_check + p.cpu_temp_insert, "check")
             if row is None:
                 self._child_eof = True
                 complete = True
@@ -189,13 +189,13 @@ class BufCheckExec(Operator):
         if self._pos < len(self._buffer):
             row = self._buffer[self._pos]
             self._pos += 1
-            self.ctx.meter.charge(p.cpu_temp_scan)
+            self.ctx.meter.charge(p.cpu_temp_scan, "check")
             return self.emit(row)
         if self._child_eof:
             self.finish()
             return None
         row = self.child.next()
-        self.ctx.meter.charge(p.cpu_check)
+        self.ctx.meter.charge(p.cpu_check, "check")
         if row is None:
             self._child_eof = True
             self.finish()

@@ -46,11 +46,11 @@ class SortExec(Operator):
             rows.sort(key=lambda r, s=slot: _sort_key(r[s]), reverse=not ascending)
         n = len(rows)
         if n:
-            self.ctx.meter.charge(n * max(1.0, math.log2(n + 1)) * p.cpu_sort)
+            self.ctx.meter.charge(n * max(1.0, math.log2(n + 1)) * p.cpu_sort, "sort")
             pages = self.ctx.cost_model.pages_for(n)
             if pages > p.sort_mem_pages:
                 passes = math.ceil(math.log(pages / p.sort_mem_pages, 8)) + 1
-                self.ctx.meter.charge(2.0 * pages * p.io_page * passes)
+                self.ctx.meter.charge(2.0 * pages * p.io_page * passes, "sort")
         self._rows = rows
         self._pos = 0
         self.build_complete = True

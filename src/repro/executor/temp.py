@@ -32,11 +32,11 @@ class TempExec(Operator):
             row = self.child.next()
             if row is None:
                 break
-            self.ctx.meter.charge(p.cpu_temp_insert)
+            self.ctx.meter.charge(p.cpu_temp_insert, "temp")
             rows.append(row)
         pages = self.ctx.cost_model.pages_for(len(rows))
         if pages > p.temp_mem_pages:
-            self.ctx.meter.charge(pages * p.io_page)
+            self.ctx.meter.charge(pages * p.io_page, "temp")
         self._rows = rows
         self._pos = 0
         self.build_complete = True
@@ -51,7 +51,7 @@ class TempExec(Operator):
         if self._pos < len(self._rows):
             row = self._rows[self._pos]
             self._pos += 1
-            self.ctx.meter.charge(self.ctx.cost_params.cpu_temp_scan)
+            self.ctx.meter.charge(self.ctx.cost_params.cpu_temp_scan, "temp")
             return self.emit(row)
         self.finish()
         return None

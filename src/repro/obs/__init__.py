@@ -1,0 +1,33 @@
+"""repro.obs — structured tracing and metrics for the POP loop.
+
+POP's value proposition is visibility into the gap between estimated and
+actual cardinalities; this package makes that visibility systematic instead
+of ad hoc.  Two zero-dependency primitives:
+
+* :class:`Tracer` — hierarchical spans and point events with both wall-clock
+  and work-unit timestamps, exportable as JSONL (one record per line).
+  The driver, optimizer, checkpoint placer, and every executor operator
+  emit into it when one is attached; when none is attached the
+  instrumentation sites are single ``is None`` checks.
+* :class:`MetricsRegistry` — named counters, gauges, and fixed-bucket
+  histograms with optional labels, snapshot-able as a plain dict and
+  renderable as aligned text or Prometheus-style exposition.
+
+See ``docs/observability.md`` for the trace event catalog and the metric
+name registry.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    QERROR_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.trace import Tracer, read_jsonl
+
+__all__ = [
+    "Tracer",
+    "read_jsonl",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "QERROR_BUCKETS",
+]

@@ -124,6 +124,9 @@ class PlanEnumerator:
         self.graph = JoinGraph(query)
         #: Number of candidate plans constructed (drives re-optimization cost).
         self.plans_enumerated = 0
+        #: Total Fig. 5 Newton–Raphson iterations spent narrowing validity
+        #: ranges (observability: the sensitivity analysis's share of work).
+        self.newton_iterations = 0
         self._allow_cross = not self.graph.fully_connected
         #: Hash-join cost multiplier under estimate uncertainty (§7).
         self._hash_penalty = 1.0
@@ -510,7 +513,7 @@ class PlanEnumerator:
                 a_cards[1 - _a] = cards[1 - _i]
                 return alt.cost_fn(*a_cards)  # type: ignore[misc]
 
-            narrow_validity_range(
+            self.newton_iterations += narrow_validity_range(
                 winner.plan.validity_ranges[i],
                 est[i],
                 cost_opt,

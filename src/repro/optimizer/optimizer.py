@@ -27,6 +27,8 @@ class OptimizationResult:
     plan: PlanOp
     plans_enumerated: int
     estimator: CardinalityEstimator
+    #: Fig. 5 sensitivity-probe iterations spent on validity ranges.
+    newton_iterations: int = 0
 
     @property
     def estimated_cost(self) -> float:
@@ -72,4 +74,5 @@ class Optimizer:
             plan=plan,
             plans_enumerated=enumerator.plans_enumerated,
             estimator=estimator,
+            newton_iterations=enumerator.newton_iterations,
         )

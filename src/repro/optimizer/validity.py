@@ -126,7 +126,7 @@ def narrow_validity_range(
     cost_alt: CostFn,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     commit_without_inversion: bool = True,
-) -> None:
+) -> int:
     """Narrow ``validity`` for one edge, given the winning and pruned plans'
     costs as functions of that edge's cardinality.
 
@@ -134,6 +134,9 @@ def narrow_validity_range(
     ``commit_without_inversion=False`` restricts narrowing to bounds where a
     true cost inversion was observed — strictly conservative, used by the
     ablation study; the default mirrors Fig. 5 step (g).
+
+    Returns the total Newton–Raphson iterations spent across both probes
+    (observability: ``optimizer.newton_iterations``).
     """
     up = _probe(est_card, cost_opt, cost_alt, upward=True, max_iterations=max_iterations)
     if up.bound is not None and (
@@ -151,3 +154,4 @@ def narrow_validity_range(
         and (down.inversion_found or (commit_without_inversion and down.converging))
     ):
         validity.narrow_low(down.bound)
+    return up.iterations + down.iterations

@@ -4,7 +4,10 @@ POP's entire premise is the gap between estimate and reality; this renderer
 makes that gap visible per operator after execution.  ``actual`` shows the
 row count the operator emitted, suffixed ``+`` when the operator was
 interrupted before end-of-stream (the count is then a lower bound — exactly
-the distinction POP's feedback store makes).
+the distinction POP's feedback store makes).  Operators that reached
+end-of-stream additionally show their q-error ``q=max(est/act, act/est)``,
+the same per-operator statistic the metrics layer aggregates into the
+``estimate.error.qerror`` histogram (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -19,11 +22,16 @@ def explain_analyze_plan(root: PlanOp, actual_cards: dict) -> str:
     def visit(op: PlanOp, depth: int) -> None:
         indent = "  " * depth
         actual = actual_cards.get(op.op_id)
+        qerror_text = ""
         if actual is None:
             actual_text = "not executed"
         else:
             rows, complete = actual
             actual_text = f"{rows}" if complete else f"{rows}+"
+            if complete:
+                est = max(float(op.est_card), 1.0)
+                act = max(float(rows), 1.0)
+                qerror_text = f" q={max(est / act, act / est):.1f}"
         err = ""
         if actual is not None and op.est_card > 0 and actual[0] > 0:
             ratio = actual[0] / op.est_card
@@ -31,7 +39,7 @@ def explain_analyze_plan(root: PlanOp, actual_cards: dict) -> str:
                 err = f"  <-- {ratio:.1f}x of estimate"
         lines.append(
             f"{indent}{op.describe()}  "
-            f"{{est={op.est_card:.1f} actual={actual_text}}}{err}"
+            f"{{est={op.est_card:.1f} actual={actual_text}{qerror_text}}}{err}"
         )
         for child in op.children:
             visit(child, depth + 1)

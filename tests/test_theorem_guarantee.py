@@ -153,6 +153,8 @@ class TestEndToEndGuarantee:
 class _FakeEnumerator:
     """Just enough of PlanEnumerator for _narrow_against."""
 
+    newton_iterations = 0
+
     class _Estimator:
         @staticmethod
         def subset_cardinality(subset):
