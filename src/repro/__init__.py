@@ -16,16 +16,12 @@ Public API highlights:
 * :class:`Query` and the expression classes — programmatic query building.
 """
 
+from repro.analysis import Finding, LintContext, PlanLintError, lint_plan
 from repro.core.config import NO_POP, PopConfig
 from repro.core.database import Database, Result
 from repro.core.driver import PopDriver, PopReport
 from repro.core.flavors import ALL_FLAVORS, DEFAULT_FLAVORS, TABLE1
 from repro.core.learning import LearnedCardinalities
-from repro.obs import MetricsRegistry, Tracer
-from repro.plan.analyze import explain_analyze
-from repro.optimizer.costmodel import CostParams, DEFAULT_COST_PARAMS
-from repro.optimizer.enumeration import OptimizerOptions
-from repro.plan.logical import Aggregate, OrderItem, Query, TableRef
 from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
 from repro.expr.predicates import (
     Between,
@@ -35,6 +31,11 @@ from repro.expr.predicates import (
     Like,
     Or,
 )
+from repro.obs import MetricsRegistry, Tracer
+from repro.optimizer.costmodel import DEFAULT_COST_PARAMS, CostParams
+from repro.optimizer.enumeration import OptimizerOptions
+from repro.plan.analyze import explain_analyze
+from repro.plan.logical import Aggregate, OrderItem, Query, TableRef
 
 __version__ = "1.0.0"
 
@@ -68,5 +69,9 @@ __all__ = [
     "explain_analyze",
     "DEFAULT_FLAVORS",
     "TABLE1",
+    "Finding",
+    "LintContext",
+    "PlanLintError",
+    "lint_plan",
     "__version__",
 ]

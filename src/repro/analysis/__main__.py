@@ -1,0 +1,157 @@
+"""``python -m repro.analysis`` — the non-interactive analysis gate.
+
+Runs the engine contract checker over the ``repro`` source tree (always)
+and, on request, the plan-semantics linter over every plan the optimizer
+and checkpoint placer produce for the TPC-H and/or DMV workloads.
+
+Exit status: 0 when no finding reaches the ``--fail-on`` severity
+(default: ``error``), 1 otherwise — suitable as a blocking CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.contract import run_contract_checks
+from repro.analysis.findings import (
+    ERROR,
+    WARN,
+    Finding,
+    count_by_severity,
+    render_jsonl,
+    render_text,
+    severity_rank,
+    sort_findings,
+)
+from repro.analysis.plan_lint import PLAN_RULES, LintContext, lint_plan
+
+
+def _workload_databases(which: str):
+    """(label, database, [(name, sql)]) triples for the requested workloads.
+
+    Uses the same tiny deterministic scales as the test suite, so the gate
+    stays fast enough for CI while exercising every query shape.
+    """
+    out = []
+    if which in ("tpch", "all"):
+        from repro.workloads.tpch.generator import make_tpch_db
+        from repro.workloads.tpch.queries import TPCH_QUERIES
+
+        out.append(
+            ("tpch", make_tpch_db(scale_factor=0.002, seed=42),
+             list(TPCH_QUERIES.items()))
+        )
+    if which in ("dmv", "all"):
+        from repro.workloads.dmv.generator import DmvScale, make_dmv_db
+        from repro.workloads.dmv.queries import dmv_queries
+
+        scale = DmvScale(
+            owners=1500, cars=2000, accidents=500, violations=700,
+            insurance=2000, dealers=120, inspections=1300, registrations=2000,
+        )
+        out.append(("dmv", make_dmv_db(scale=scale, seed=7), dmv_queries(7)))
+    return out
+
+
+def lint_workload_plans(which: str) -> list[Finding]:
+    """Optimize + place checkpoints for every workload query; lint each."""
+    from repro.core.config import PopConfig
+    from repro.core.placement import place_checkpoints
+
+    findings: list[Finding] = []
+    config = PopConfig()
+    for label, db, queries in _workload_databases(which):
+        context = LintContext(
+            catalog=db.catalog,
+            cost_model=db.optimizer.cost_model,
+            config=config,
+        )
+        for name, sql in queries:
+            query = db._to_query(sql)
+            opt = db.optimizer.optimize(query)
+            placement = place_checkpoints(
+                opt.plan,
+                config,
+                db.optimizer.cost_model,
+                is_spj=not (query.has_aggregates or query.distinct),
+            )
+            for finding in lint_plan(placement.plan, context):
+                finding.data.setdefault("query", f"{label}/{name}")
+                findings.append(finding)
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis gate: engine contracts + plan linting.",
+    )
+    parser.add_argument(
+        "--no-code",
+        action="store_true",
+        help="skip the engine contract checker over the source tree",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="source root to contract-check (default: the repro package)",
+    )
+    parser.add_argument(
+        "--plans",
+        choices=("none", "tpch", "dmv", "all"),
+        default="none",
+        help="also lint every optimizer/placement plan of these workloads",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "jsonl"),
+        default="text",
+        help="output rendering (jsonl: one finding object per line)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=(ERROR, WARN),
+        default=ERROR,
+        help="exit non-zero when a finding of this severity (or worse) exists",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the plan-rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        from repro.analysis import rules as _builtin  # noqa: F401
+
+        for rule in PLAN_RULES.values():
+            ref = f" [{rule.paper_ref}]" if rule.paper_ref else ""
+            print(f"{rule.rule_id:25s}{ref:25s} {rule.doc}")
+        return 0
+
+    findings: list[Finding] = []
+    if not args.no_code:
+        findings.extend(run_contract_checks(args.root))
+    if args.plans != "none":
+        findings.extend(lint_workload_plans(args.plans))
+
+    findings = sort_findings(findings)
+    if args.format == "jsonl":
+        if findings:
+            print(render_jsonl(findings))
+    else:
+        print(render_text(findings))
+
+    counts = count_by_severity(findings)
+    threshold = severity_rank(args.fail_on)
+    failing = sum(
+        count
+        for severity, count in counts.items()
+        if severity_rank(severity) <= threshold
+    )
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

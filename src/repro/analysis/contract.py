@@ -1,0 +1,367 @@
+"""The engine contract checker: ``ast``-based lint of the repro source.
+
+Four codebase invariants, chosen because violating any of them silently
+breaks the reproduction rather than crashing it:
+
+* **iterator-contract** — every executor operator (subclass of
+  :class:`repro.executor.base.Operator`) implements ``next`` and, when it
+  overrides ``open``/``close``, delegates to ``super()`` so span tracking
+  and operator registration keep working.
+* **determinism** — ``random.*`` / ``time.*`` calls are confined to
+  ``repro/common/rng.py`` and ``repro/obs/`` (seeded
+  ``random.Random(seed)`` construction is allowed anywhere); anything else
+  would make runs non-reproducible, which the experiment harness depends
+  on.
+* **float-eq** — no ``==`` / ``!=`` on numbers inside
+  ``optimizer/costmodel.py``: validity-range analysis evaluates the cost
+  functions at perturbed, non-integral cardinalities, where exact float
+  equality is a latent discontinuity.
+* **bare-except** — no ``except:``: it would swallow
+  :class:`~repro.executor.base.ReoptimizationSignal`, which must always
+  propagate to the POP driver.
+
+Pure stdlib (``ast``); no third-party linter is needed at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, Optional
+
+from repro.analysis.findings import ERROR, WARN, Finding
+
+#: Module paths (posix, relative to the scan root) where direct
+#: ``random``/``time`` usage is legitimate.
+DETERMINISM_ALLOWED = ("common/rng.py", "obs/")
+
+#: The executor protocol methods and the delegation each override owes.
+_PROTOCOL_SUPER = {"open": "open", "close": "close"}
+
+
+def _relpath(path: str, root: str) -> str:
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def iter_source_files(root: str) -> list[str]:
+    """All ``.py`` files under ``root``, sorted for stable output."""
+    found: list[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                found.append(os.path.join(dirpath, name))
+    return found
+
+
+def check_source_tree(root: str) -> list[Finding]:
+    """Run every contract rule over the package rooted at ``root``."""
+    findings: list[Finding] = []
+    trees: dict[str, ast.Module] = {}
+    for path in iter_source_files(root):
+        rel = _relpath(path, root)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            trees[rel] = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="parse",
+                    severity=ERROR,
+                    message=f"syntax error: {exc.msg}",
+                    file=rel,
+                    line=exc.lineno,
+                )
+            )
+    for rel, tree in trees.items():
+        findings.extend(check_determinism(tree, rel))
+        findings.extend(check_bare_except(tree, rel))
+        if rel.endswith("optimizer/costmodel.py"):
+            findings.extend(check_float_eq(tree, rel))
+    findings.extend(check_iterator_contract(trees))
+    return findings
+
+
+def check_module(source: str, filename: str = "<snippet>") -> list[Finding]:
+    """Contract-check one source string (test hook; applies every
+    per-module rule, float-eq included)."""
+    tree = ast.parse(source, filename=filename)
+    findings = list(check_determinism(tree, filename))
+    findings.extend(check_bare_except(tree, filename))
+    findings.extend(check_float_eq(tree, filename))
+    findings.extend(check_iterator_contract({filename: tree}))
+    return findings
+
+
+# ------------------------------------------------------------- determinism
+
+
+def _determinism_allowed(rel: str) -> bool:
+    return any(rel.startswith(p) or rel.endswith(p) for p in DETERMINISM_ALLOWED)
+
+
+def check_determinism(tree: ast.Module, rel: str) -> Iterator[Finding]:
+    """No ``random.*`` / ``time.*`` calls outside the allowlisted modules."""
+    if _determinism_allowed(rel):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("random", "time")
+            ):
+                if (
+                    func.value.id == "random"
+                    and func.attr == "Random"
+                    and node.args
+                ):
+                    continue  # seeded generator construction is the idiom
+                yield Finding(
+                    rule="determinism",
+                    severity=ERROR,
+                    message=(
+                        f"{func.value.id}.{func.attr}() outside "
+                        "repro.common.rng / repro.obs breaks reproducible "
+                        "runs"
+                        + (
+                            " (seed it: random.Random(seed))"
+                            if func.attr == "Random"
+                            else ""
+                        )
+                    ),
+                    file=rel,
+                    line=node.lineno,
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module in ("random", "time"):
+            names = [a.name for a in node.names if a.name != "Random"]
+            if names:
+                yield Finding(
+                    rule="determinism",
+                    severity=ERROR,
+                    message=(
+                        f"from {node.module} import {', '.join(names)} "
+                        "outside repro.common.rng / repro.obs breaks "
+                        "reproducible runs"
+                    ),
+                    file=rel,
+                    line=node.lineno,
+                )
+
+
+# ------------------------------------------------------------- bare except
+
+
+def check_bare_except(tree: ast.Module, rel: str) -> Iterator[Finding]:
+    """No ``except:`` — it would swallow ReoptimizationSignal."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Finding(
+                rule="bare-except",
+                severity=ERROR,
+                message=(
+                    "bare except swallows ReoptimizationSignal (and "
+                    "KeyboardInterrupt); name the exception classes"
+                ),
+                file=rel,
+                line=node.lineno,
+            )
+
+
+# ---------------------------------------------------------------- float ==
+
+
+def _is_string_const(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def check_float_eq(tree: ast.Module, rel: str) -> Iterator[Finding]:
+    """No numeric ``==``/``!=`` in the cost model.
+
+    Cost functions are evaluated at perturbed float cardinalities by the
+    Newton–Raphson probe; exact equality tests silently stop matching there
+    (``card == 0`` vs a probe point of ``1e-6``).  String comparisons are
+    exempt.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_string_const(left) or _is_string_const(right):
+                continue
+            symbol = "==" if isinstance(op, ast.Eq) else "!="
+            yield Finding(
+                rule="float-eq",
+                severity=ERROR,
+                message=(
+                    f"numeric {symbol} in the cost model: use an ordered "
+                    "comparison or a tolerance (cost functions run at "
+                    "perturbed float cardinalities)"
+                ),
+                file=rel,
+                line=node.lineno,
+            )
+
+
+# ------------------------------------------------------- iterator contract
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _methods(node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        item.name: item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _calls_super(method: ast.FunctionDef, name: str) -> bool:
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == name
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super"
+        ):
+            return True
+    return False
+
+
+def check_iterator_contract(trees: dict[str, ast.Module]) -> Iterator[Finding]:
+    """Executor operators implement the open/next/close protocol correctly.
+
+    Works on the whole-package class graph: collects every class
+    transitively derived (by name) from ``Operator``, then checks that each
+    concrete operator resolves a real ``next`` (the base raises
+    NotImplementedError) and that ``open``/``close`` overrides delegate to
+    ``super()``.
+    """
+    classes: dict[str, tuple[str, ast.ClassDef]] = {}
+    for rel, tree in trees.items():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                classes.setdefault(node.name, (rel, node))
+
+    def derives_from_operator(name: str, seen: frozenset = frozenset()) -> bool:
+        if name == "Operator":
+            return True
+        if name in seen or name not in classes:
+            return False
+        _, node = classes[name]
+        return any(
+            derives_from_operator(base, seen | {name})
+            for base in _base_names(node)
+        )
+
+    def resolves_next(name: str) -> Optional[bool]:
+        """True when a real ``next`` is inherited; None when the chain
+        leaves the scanned sources (assume the external base provides it)."""
+        if name == "Operator":
+            return False  # the base's next only raises NotImplementedError
+        if name not in classes:
+            return None
+        _, node = classes[name]
+        if "next" in _methods(node):
+            return True
+        results = [resolves_next(base) for base in _base_names(node)]
+        if any(r is True for r in results):
+            return True
+        if any(r is None for r in results):
+            return None
+        return False
+
+    subclass_names = {
+        name
+        for name in classes
+        if name != "Operator" and derives_from_operator(name)
+    }
+    has_subclasses = {
+        base
+        for name in subclass_names
+        for base in _base_names(classes[name][1])
+    }
+    for name in sorted(subclass_names):
+        rel, node = classes[name]
+        methods = _methods(node)
+        concrete = name not in has_subclasses and not name.startswith("_")
+        if concrete and resolves_next(name) is False:
+            yield Finding(
+                rule="iterator-contract",
+                severity=ERROR,
+                message=(
+                    f"operator {name} never implements next(); the base "
+                    "Operator.next raises NotImplementedError at runtime"
+                ),
+                file=rel,
+                line=node.lineno,
+            )
+        for method_name, super_name in _PROTOCOL_SUPER.items():
+            method = methods.get(method_name)
+            if method is not None and not _calls_super(method, super_name):
+                yield Finding(
+                    rule="iterator-contract",
+                    severity=ERROR,
+                    message=(
+                        f"{name}.{method_name}() does not call "
+                        f"super().{super_name}(): span tracking and "
+                        "operator registration would silently break"
+                    ),
+                    file=rel,
+                    line=method.lineno,
+                )
+
+
+# ------------------------------------------------------------ style sweep
+
+
+def check_style(root: str) -> list[Finding]:
+    """A minimal local approximation of the CI ruff gate (F401/F841-ish
+    signals would be noisy to reimplement; this catches the high-confidence
+    subset): reports modules that fail to compile and tab indentation."""
+    findings: list[Finding] = []
+    for path in iter_source_files(root):
+        rel = _relpath(path, root)
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if line.startswith("\t"):
+                    findings.append(
+                        Finding(
+                            rule="style",
+                            severity=WARN,
+                            message="tab indentation (spaces everywhere else)",
+                            file=rel,
+                            line=lineno,
+                        )
+                    )
+    return findings
+
+
+def default_source_root() -> str:
+    """The installed ``repro`` package directory (what ``-m`` scans)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def run_contract_checks(root: Optional[str] = None) -> list[Finding]:
+    """Contract + style findings for ``root`` (default: the live package)."""
+    base = root if root is not None else default_source_root()
+    findings = check_source_tree(base)
+    findings.extend(check_style(base))
+    return findings

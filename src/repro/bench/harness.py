@@ -2,13 +2,26 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, replace
 from typing import Any, Optional
 
 from repro.core.config import NO_POP, PopConfig
 from repro.core.database import Database
 from repro.core.driver import PopDriver, PopReport
 from repro.plan.explain import join_order
+
+
+def _strict_analysis_requested() -> bool:
+    """True when ``REPRO_STRICT_ANALYSIS`` asks benchmarks to lint plans.
+
+    CI sets this on the benchmark smoke job so every plan a figure run
+    produces — initial and re-optimized — passes the plan-semantics linter
+    (:mod:`repro.analysis`) or fails the job.
+    """
+    return os.environ.get("REPRO_STRICT_ANALYSIS", "").lower() in (
+        "1", "true", "yes", "on",
+    )
 
 
 @dataclass
@@ -43,9 +56,12 @@ def run_once(
     Both default to off, leaving measured work units untouched.
     """
     query = db._to_query(statement)
+    config = pop if pop is not None else PopConfig()
+    if _strict_analysis_requested() and not config.strict_analysis:
+        config = replace(config, strict_analysis=True)
     driver = PopDriver(
         db.optimizer,
-        pop if pop is not None else PopConfig(),
+        config,
         lc_above_hash_build=lc_above_hash_build,
         tracer=tracer,
         metrics=metrics,

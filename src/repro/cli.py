@@ -14,7 +14,7 @@ import argparse
 import sys
 from typing import Any, Callable, Optional, TextIO
 
-from repro import Database, NO_POP, PopConfig
+from repro import NO_POP, Database, PopConfig
 from repro.common.errors import ReproError
 from repro.core.flavors import ALL_FLAVORS
 from repro.obs import MetricsRegistry, Tracer
@@ -29,6 +29,10 @@ meta commands:
   \\explain SQL...           show the plan (with checkpoints) for a statement
   \\analyze SQL...           execute and show per-attempt plans with
                             estimated vs actual cardinalities
+  \\lint SQL...              run the plan-semantics linter on a statement's
+                            plan (checkpoints included)
+  \\lint code                run the engine contract checker on the source
+  \\lint rules               list the plan-rule catalog
   \\pop on|off               enable/disable progressive optimization
   \\pop flavors F1,F2        set checkpoint flavors (LC,LCEM,ECB,ECWC,ECDC)
   \\learning on|off          cross-statement cardinality learning
@@ -198,6 +202,44 @@ class Shell:
             f"{result.report.total_units:,.0f} work units, "
             f"{result.report.reoptimizations} re-optimization(s)"
         )
+
+    def _meta_lint(self, args) -> None:
+        from repro.analysis import LintContext, lint_plan, render_text
+
+        if not args:
+            self.write("usage: \\lint SELECT ... | \\lint code | \\lint rules")
+            return
+        if args[0].lower() == "code" and len(args) == 1:
+            from repro.analysis.contract import run_contract_checks
+
+            self.write(render_text(run_contract_checks()))
+            return
+        if args[0].lower() == "rules" and len(args) == 1:
+            from repro.analysis import rules as _builtin  # noqa: F401
+            from repro.analysis.plan_lint import PLAN_RULES
+
+            for rule in PLAN_RULES.values():
+                ref = f" [{rule.paper_ref}]" if rule.paper_ref else ""
+                self.write(f"  {rule.rule_id:25s}{ref} {rule.doc}")
+            return
+        from repro.core.placement import place_checkpoints
+
+        sql = " ".join(args).rstrip(";")
+        config = self._config()
+        query = self.db._to_query(sql)
+        opt = self.db.optimizer.optimize(query)
+        placement = place_checkpoints(
+            opt.plan,
+            config,
+            self.db.optimizer.cost_model,
+            is_spj=not (query.has_aggregates or query.distinct),
+        )
+        context = LintContext(
+            catalog=self.db.catalog,
+            cost_model=self.db.optimizer.cost_model,
+            config=config,
+        )
+        self.write(render_text(lint_plan(placement.plan, context)))
 
     def _meta_pop(self, args) -> None:
         if not args:

@@ -51,6 +51,11 @@ class PopConfig:
     #: §7 extension — derive the re-optimization limit from query complexity
     #: (joins and parameter markers) instead of the fixed cap.
     adaptive_reopt_limit: bool = False
+    #: Strict analysis: run the plan-semantics linter (:mod:`repro.analysis`)
+    #: on every plan the driver is about to execute — including re-optimized
+    #: plans, where feedback consistency is also audited — and fail the
+    #: statement on error-severity findings.
+    strict_analysis: bool = False
 
     def reopt_limit_for(self, query) -> int:
         """The effective re-optimization cap for ``query``."""

@@ -27,7 +27,7 @@ from repro.core.config import NO_POP, PopConfig
 from repro.core.driver import PopDriver, PopReport
 from repro.core.learning import LearnedCardinalities
 from repro.executor.meter import WorkMeter
-from repro.optimizer.costmodel import CostParams, DEFAULT_COST_PARAMS
+from repro.optimizer.costmodel import DEFAULT_COST_PARAMS, CostParams
 from repro.optimizer.enumeration import OptimizerOptions
 from repro.optimizer.optimizer import Optimizer
 from repro.plan.explain import explain_plan

@@ -14,11 +14,11 @@ observes duplicates (paper §3.3).
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.analysis.plan_lint import LintContext, assert_plan_clean
 from repro.common.errors import ExecutionError
 from repro.core.config import PopConfig
 from repro.core.feedback import CardinalityFeedback
@@ -31,6 +31,7 @@ from repro.executor.base import (
 )
 from repro.executor.meter import WorkMeter
 from repro.executor.runtime import run_plan
+from repro.obs import wall_clock
 from repro.optimizer.optimizer import Optimizer
 from repro.plan.explain import explain_plan, join_order
 from repro.plan.logical import Query
@@ -193,7 +194,7 @@ class PopDriver:
         delivered: list[tuple] = []
         attempts: list[AttemptReport] = []
         self._apply_reuse_policy()
-        started = time.perf_counter()
+        started = wall_clock()
         stmt_span = None
         if tracer is not None:
             tracer.bind_meter(meter)
@@ -262,6 +263,8 @@ class PopDriver:
             plan = placement.plan
             if compensation:
                 plan = self._wrap_compensation(plan)
+            if config.strict_analysis:
+                self._lint_attempt_plan(plan, feedback, attempt)
 
             budget = None
             if config.work_budget is not None and can_reopt:
@@ -360,7 +363,7 @@ class PopDriver:
             break
 
         self.catalog.clear_temp_mvs()
-        wall = time.perf_counter() - started
+        wall = wall_clock() - started
         if metrics is not None:
             metrics.inc("pop.attempts", len(attempts))
             for category, units in meter.by_category().items():
@@ -381,6 +384,44 @@ class PopDriver:
         )
 
     # -------------------------------------------------------------- internals
+
+    def _lint_attempt_plan(
+        self,
+        plan: PlanOp,
+        feedback: Optional[CardinalityFeedback],
+        attempt: int,
+    ) -> None:
+        """Strict mode: lint the plan this attempt is about to execute.
+
+        Raises :class:`repro.analysis.PlanLintError` on error-severity
+        findings; warn/info findings flow to tracing.  Re-optimized plans
+        (attempt > 0) are additionally checked for consistency with the
+        exact feedback harvested so far.
+        """
+        context = LintContext(
+            catalog=self.catalog,
+            cost_model=self.optimizer.cost_model,
+            config=self.config,
+            feedback=(
+                feedback if attempt > 0 and self.config.use_feedback else None
+            ),
+            attempt=attempt,
+        )
+        findings = assert_plan_clean(
+            plan, context, where=f"attempt {attempt} plan"
+        )
+        if self.tracer is not None:
+            for finding in findings:
+                self.tracer.event(
+                    "analysis.finding", attempt=attempt, **finding.to_dict()
+                )
+        if self.metrics is not None and findings:
+            for finding in findings:
+                self.metrics.inc(
+                    "analysis.findings",
+                    rule=finding.rule,
+                    severity=finding.severity,
+                )
 
     def _observe_attempt(
         self,

@@ -22,7 +22,6 @@ from repro.plan.physical import (
     AntiJoin,
     Distinct,
     GroupBy,
-    PlanOp,
     Project,
     Return,
     Sort,

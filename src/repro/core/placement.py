@@ -32,8 +32,6 @@ from repro.optimizer.costmodel import CostModel
 from repro.plan.physical import (
     BufCheck,
     Check,
-    GroupBy,
-    Distinct,
     HashJoin,
     JoinOp,
     MVScan,
@@ -135,7 +133,6 @@ class CheckpointPlacer:
         return check
 
     def _rewrite(self, node: PlanOp) -> PlanOp:
-        flavors = self.config.flavors
         for i, child in enumerate(node.children):
             new_child = self._rewrite(child)
             wrapped = self._wrap_edge(node, i, new_child)

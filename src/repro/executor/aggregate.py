@@ -69,7 +69,6 @@ class GroupByExec(Operator):
             None if a.argument is None else child_layout.slot(a.argument)
             for a in plan.aggregates
         ]
-        star_count = [0]  # COUNT(*) per group handled separately
         groups: dict[tuple, tuple[_AggState, int]] = {}
         counts_star: dict[tuple, int] = {}
         n_aggs = len(plan.aggregates)

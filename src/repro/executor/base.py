@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.common.errors import ExecutionError
-from repro.optimizer.costmodel import CostModel, CostParams, DEFAULT_COST_PARAMS
 from repro.executor.meter import WorkMeter
+from repro.optimizer.costmodel import DEFAULT_COST_PARAMS, CostModel, CostParams
 from repro.plan.physical import PlanOp
 from repro.storage.catalog import Catalog
 

@@ -5,9 +5,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.errors import ExecutionError
-from repro.expr.evaluate import compile_conjunction
 from repro.executor.base import ExecutionContext, Operator
 from repro.executor.scans import IndexScanExec
+from repro.expr.evaluate import compile_conjunction
 from repro.plan.physical import HashJoin, MergeJoin, NLJoin
 
 

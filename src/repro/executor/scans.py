@@ -5,10 +5,10 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.common.errors import ExecutionError
+from repro.executor.base import ExecutionContext, Operator
 from repro.expr.evaluate import compile_conjunction
 from repro.expr.expressions import operand_value
 from repro.expr.predicates import Between, Comparison
-from repro.executor.base import ExecutionContext, Operator
 from repro.plan.physical import IndexScan, MVScan, TableScan
 from repro.storage.index import SortedIndex
 

@@ -22,11 +22,12 @@ from repro.obs.metrics import (
     QERROR_BUCKETS,
     MetricsRegistry,
 )
-from repro.obs.trace import Tracer, read_jsonl
+from repro.obs.trace import Tracer, read_jsonl, wall_clock
 
 __all__ = [
     "Tracer",
     "read_jsonl",
+    "wall_clock",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "QERROR_BUCKETS",

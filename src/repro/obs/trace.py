@@ -30,6 +30,18 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Optional, TextIO
 
 
+def wall_clock() -> float:
+    """Wall-clock seconds (monotonic, reference only).
+
+    The single sanctioned wall-clock source outside :mod:`repro.obs`: the
+    engine contract checker (:mod:`repro.analysis.contract`) forbids direct
+    ``time.*`` calls elsewhere so that every timing dependency is explicit
+    and mockable.  Work-unit clocks, not this, are what reproduced figures
+    are built on.
+    """
+    return time.perf_counter()
+
+
 class Tracer:
     """Collects spans and events for one or more statement executions.
 

@@ -155,7 +155,7 @@ class CostModel:
         """
         p = self.params
         card = max(0.0, card)
-        if card == 0:
+        if card <= 0.0:
             return 0.0
         cpu = card * max(1.0, math.log2(card + 1)) * p.cpu_sort
         pages = self.pages_for(card)

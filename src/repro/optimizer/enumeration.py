@@ -27,7 +27,6 @@ from repro.expr.evaluate import RowLayout
 from repro.expr.predicates import (
     Between,
     Comparison,
-    JoinPredicate,
     Predicate,
     predicate_set_id,
 )
@@ -84,6 +83,9 @@ class OptimizerOptions:
     auto_bushy_limit: int = 8
     #: Keep at most this many interesting-order plans per subset.
     max_plans_per_subset: int = 4
+    #: Strict analysis: lint every optimized plan (:mod:`repro.analysis`)
+    #: before returning it and raise on error-severity findings.
+    strict_analysis: bool = False
 
 
 @dataclass
@@ -238,10 +240,8 @@ class PlanEnumerator:
                 ):
                     continue
                 card = max(0.001, mv.cardinality * 0.5)
-                exact = False
             else:
                 card = float(mv.cardinality)
-                exact = True
             cost = (
                 0.0
                 if self.options.mv_cost_zero
@@ -287,7 +287,11 @@ class PlanEnumerator:
         # Effective join selectivity: keeps out(cl, cr) consistent with the
         # subset estimate at the current operating point.
         sel_eff = card_out / max(1e-9, card_l * card_r)
-        props = self._join_properties(subset)
+        # Hash/nested-loop joins stream the outer (build/materialize the
+        # inner), so they deliver rows in the outer's order.
+        props = self._join_properties(subset).with_order(
+            left.plan.properties.order
+        )
         layout = left.plan.layout.concat(right.plan.layout)
         edge_subsets = (left_tables, right_tables)
         base_cost = left.cost + right.cost
@@ -414,7 +418,9 @@ class PlanEnumerator:
             residual_joins = [p for p in preds if p is not pred]
             probe_cost = cm.index_probe_cost(fetched_per_probe, inner_pages)
             inner_total_cost = card_l * probe_cost
-            props = self._join_properties(subset)
+            props = self._join_properties(subset).with_order(
+                left.plan.properties.order
+            )
             layout = left.plan.layout.concat(self._table_layout(inner_alias))
             inner_props = self._leaf_properties(inner_alias)
             inner_plan = IndexScan(

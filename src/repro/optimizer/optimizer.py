@@ -12,7 +12,7 @@ from typing import Optional
 
 from repro.core.feedback import CardinalityFeedback
 from repro.optimizer.cardinality import CardinalityEstimator
-from repro.optimizer.costmodel import CostModel, CostParams, DEFAULT_COST_PARAMS
+from repro.optimizer.costmodel import DEFAULT_COST_PARAMS, CostModel, CostParams
 from repro.optimizer.enumeration import OptimizerOptions, PlanEnumerator
 from repro.plan.logical import Query
 from repro.plan.physical import PlanOp, number_plan
@@ -70,6 +70,16 @@ class Optimizer:
         )
         plan = enumerator.run()
         number_plan(plan)
+        if self.options.strict_analysis:
+            # Imported here: repro.analysis.rules itself imports optimizer
+            # modules, so a module-level import would be cyclic.
+            from repro.analysis.plan_lint import LintContext, assert_plan_clean
+
+            assert_plan_clean(
+                plan,
+                LintContext(catalog=self.catalog, cost_model=self.cost_model),
+                where="optimized plan",
+            )
         return OptimizationResult(
             plan=plan,
             plans_enumerated=enumerator.plans_enumerated,

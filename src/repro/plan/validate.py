@@ -5,9 +5,20 @@ well-formed QEP must satisfy — layout propagation, property composition,
 join-key resolvability, checkpoint sanity.  The test suite runs it over
 every plan the optimizer and the placement pass produce for both workloads;
 it is also a useful debugging aid for anyone extending the enumerator.
+
+Two modes exist:
+
+* ``validate_plan(root)`` raises :class:`PlanInvariantError` on the first
+  violation and returns the node count — the fail-fast contract used by
+  tests and assertions;
+* ``validate_plan(root, collect=True)`` returns the list of *all* violation
+  messages instead of raising, which is what the plan-semantics linter
+  (:mod:`repro.analysis`) builds its ``structure`` rule on.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Union
 
 from repro.plan.physical import (
     AntiJoin,
@@ -32,107 +43,127 @@ class PlanInvariantError(AssertionError):
     """A structural invariant of the plan tree is violated."""
 
 
-def _fail(op: PlanOp, message: str) -> None:
-    raise PlanInvariantError(f"{op.describe()} (op_id={op.op_id}): {message}")
+#: Receives one violation description; raises (fail-fast) or records it.
+FailFn = Callable[[PlanOp, str], None]
 
 
-def validate_plan(root: PlanOp) -> int:
-    """Validate the subtree rooted at ``root``; returns the node count.
+def _message(op: PlanOp, message: str) -> str:
+    return f"{op.describe()} (op_id={op.op_id}): {message}"
 
-    Raises :class:`PlanInvariantError` on the first violation.
+
+def _raise(op: PlanOp, message: str) -> None:
+    raise PlanInvariantError(_message(op, message))
+
+
+def validate_plan(root: PlanOp, collect: bool = False) -> Union[int, list[str]]:
+    """Validate the subtree rooted at ``root``.
+
+    With ``collect=False`` (the default) raises :class:`PlanInvariantError`
+    on the first violation and returns the node count.  With
+    ``collect=True`` never raises; returns the list of all violation
+    messages (empty for a well-formed plan).
     """
+    if collect:
+        violations: list[str] = []
+        _walk(root, lambda op, msg: violations.append(_message(op, msg)))
+        return violations
+    return _walk(root, _raise)
+
+
+def _walk(root: PlanOp, fail: FailFn) -> int:
     count = 0
     for op in root.walk():
         count += 1
-        _check_common(op)
+        _check_common(op, fail)
         if isinstance(op, JoinOp):
-            _check_join(op)
+            _check_join(op, fail)
         elif isinstance(
             op, (Sort, Temp, Check, BufCheck, AntiJoin, HavingFilter)
         ):
-            _check_transparent(op)
+            _check_transparent(op, fail)
         elif isinstance(op, (GroupBy, Distinct, Project)):
-            _check_reshaping(op)
+            _check_reshaping(op, fail)
         elif isinstance(op, Return):
             if len(op.children) != 1:
-                _fail(op, "RETURN must have exactly one child")
+                fail(op, "RETURN must have exactly one child")
     return count
 
 
-def _check_common(op: PlanOp) -> None:
+def _check_common(op: PlanOp, fail: FailFn) -> None:
     if op.est_card < 0:
-        _fail(op, f"negative cardinality estimate {op.est_card}")
+        fail(op, f"negative cardinality estimate {op.est_card}")
     if op.est_cost < -1e-6:
-        _fail(op, f"negative cost estimate {op.est_cost}")
+        fail(op, f"negative cost estimate {op.est_cost}")
     if len(op.validity_ranges) != len(op.children):
-        _fail(op, "one validity range per input edge expected")
+        fail(op, "one validity range per input edge expected")
     for rng in op.validity_ranges:
         if rng.low > rng.high:
-            _fail(op, f"inverted validity range {rng}")
+            fail(op, f"inverted validity range {rng}")
     if not op.children and not isinstance(op, (TableScan, MVScan)) and not hasattr(
         op, "index_name"
     ):
-        _fail(op, "only scans may be leaves")
+        fail(op, "only scans may be leaves")
 
 
-def _check_join(op: JoinOp) -> None:
+def _check_join(op: JoinOp, fail: FailFn) -> None:
     if len(op.children) != 2:
-        _fail(op, "joins take exactly two children")
+        fail(op, "joins take exactly two children")
+        return
     expected = op.outer.layout.concat(op.inner.layout)
     if op.layout.columns != expected.columns:
-        _fail(op, "join layout must be outer ++ inner")
+        fail(op, "join layout must be outer ++ inner")
     merged_tables = op.outer.properties.tables | op.inner.properties.tables
     if op.properties.tables != merged_tables:
-        _fail(op, "join properties must union the children's tables")
+        fail(op, "join properties must union the children's tables")
     # Every join key must be resolvable in the combined layout.
     for pred in op.join_predicates:
         for col in pred.columns():
             if not op.layout.has(col):
-                _fail(op, f"join key {col} missing from layout")
+                fail(op, f"join key {col} missing from layout")
     if isinstance(op, NLJoin) and op.method == "index":
         corr = getattr(op.inner, "correlation", None)
         if corr is None:
-            _fail(op, "index NLJN inner must be a correlated index scan")
-        if not op.outer.layout.has(corr):
-            _fail(op, f"correlation column {corr} missing from the outer")
+            fail(op, "index NLJN inner must be a correlated index scan")
+        elif not op.outer.layout.has(corr):
+            fail(op, f"correlation column {corr} missing from the outer")
 
 
-def _check_transparent(op: PlanOp) -> None:
+def _check_transparent(op: PlanOp, fail: FailFn) -> None:
     """Operators that pass rows through unchanged keep the child's layout."""
     child = op.children[0]
     if op.layout.columns != child.layout.columns:
-        _fail(op, "layout must match the child's")
+        fail(op, "layout must match the child's")
     if isinstance(op, (Check, BufCheck)):
         rng = op.check_range
         if rng.low > rng.high:
-            _fail(op, f"inverted check range {rng}")
+            fail(op, f"inverted check range {rng}")
     if isinstance(op, Sort):
         for key in op.keys:
             if not op.layout.has(key):
-                _fail(op, f"sort key {key} missing from layout")
+                fail(op, f"sort key {key} missing from layout")
         if len(op.ascending) != len(op.keys):
-            _fail(op, "one direction flag per sort key expected")
+            fail(op, "one direction flag per sort key expected")
     if isinstance(op, HavingFilter):
         for pred in op.predicates:
             if not op.layout.has(pred.column):
-                _fail(op, f"HAVING column {pred.column} missing from layout")
+                fail(op, f"HAVING column {pred.column} missing from layout")
 
 
-def _check_reshaping(op: PlanOp) -> None:
+def _check_reshaping(op: PlanOp, fail: FailFn) -> None:
     child = op.children[0]
     if isinstance(op, Project):
         for column in op.columns:
             if not child.layout.has(column):
-                _fail(op, f"projected column {column} missing from child")
+                fail(op, f"projected column {column} missing from child")
     if isinstance(op, GroupBy):
         for key in op.group_keys:
             if not child.layout.has(key):
-                _fail(op, f"group key {key} missing from child")
+                fail(op, f"group key {key} missing from child")
         for agg in op.aggregates:
             if agg.argument is not None and not child.layout.has(agg.argument):
-                _fail(op, f"aggregate argument {agg.argument} missing from child")
+                fail(op, f"aggregate argument {agg.argument} missing from child")
         expected = tuple(
             [k.qualified for k in op.group_keys] + [a.alias for a in op.aggregates]
         )
         if op.layout.columns != expected:
-            _fail(op, "GROUP BY layout must be keys ++ aggregate aliases")
+            fail(op, "GROUP BY layout must be keys ++ aggregate aliases")

@@ -195,7 +195,6 @@ class Binder:
 
         select = []
         column_aliases: dict[str, str] = {}  # select alias -> output name
-        agg_counter = 0
         for item in stmt.select:
             if isinstance(item, SelectColumn):
                 ref = self.resolve_column(item.column)
@@ -206,7 +205,6 @@ class Binder:
                 argument = (
                     None if item.argument is None else self.resolve_column(item.argument)
                 )
-                agg_counter += 1
                 alias = item.alias or (
                     f"{item.func}_{argument.column}" if argument else f"{item.func}_star"
                 )

@@ -24,10 +24,10 @@ from repro.sql.ast_nodes import (
     AndExpr,
     BetweenExpr,
     ColumnName,
-    IsNullExpr,
     ComparisonExpr,
     Constant,
     InExpr,
+    IsNullExpr,
     LikeExpr,
     Marker,
     OrderSpec,

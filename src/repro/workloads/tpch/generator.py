@@ -108,7 +108,6 @@ def generate_tpch(
     )
     orders = []
     lineitems = []
-    lineitem_key = 0
     for i in range(scale.orders):
         odate = date_string(rng, 1992, 1998)
         orders.append(
@@ -140,7 +139,6 @@ def generate_tpch(
                     shipmode_chooser.choose(rng),
                 )
             )
-            lineitem_key += 1
     data["orders"] = orders
     data["lineitem"] = lineitems
     return data

@@ -1,9 +1,8 @@
 """Tests for EXPLAIN ANALYZE (estimated vs actual per operator)."""
 
-import pytest
 
 from repro import explain_analyze
-from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
+from repro.expr.expressions import ColumnRef, ParameterMarker
 from repro.expr.predicates import Comparison, JoinPredicate
 from repro.plan.analyze import explain_analyze_plan
 from repro.plan.logical import Query, TableRef

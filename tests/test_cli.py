@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro import Database
 from repro.cli import Shell, main

@@ -1,6 +1,5 @@
 """Tests for column/table statistics collection."""
 
-import pytest
 
 from repro.stats.collect import collect_table_statistics, runstats
 from repro.stats.column_stats import ColumnStatistics

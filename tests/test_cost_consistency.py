@@ -9,7 +9,6 @@ track measured work within a modest factor.  If this drifts, every figure's
 
 import pytest
 
-from repro import Database
 from repro.workloads.tpch.queries import TPCH_QUERIES
 
 

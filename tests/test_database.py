@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, NO_POP, PopConfig
+from repro import NO_POP, Database, PopConfig
 from repro.common.errors import CatalogError, UnboundParameterError
 
 

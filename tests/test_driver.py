@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro import Database, PopConfig
-from repro.core.driver import PopDriver
+from repro import PopConfig
 from repro.core.flavors import ECB, ECDC, LC, LCEM
 from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
 from repro.expr.predicates import Comparison, JoinPredicate

@@ -1,13 +1,11 @@
 """Tests for the DP plan enumerator: access paths, join methods, interesting
 orders, MV reuse candidates, and validity-range narrowing during pruning."""
 
-import pytest
 
-from repro import Database
 from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
 from repro.expr.predicates import Comparison, JoinPredicate, predicate_set_id
 from repro.optimizer.enumeration import OptimizerOptions, order_satisfies
-from repro.plan.explain import join_order, plan_operators
+from repro.plan.explain import plan_operators
 from repro.plan.logical import Query, TableRef
 from repro.plan.physical import (
     HashJoin,

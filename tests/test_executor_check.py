@@ -5,7 +5,7 @@ import pytest
 from repro.executor.base import ExecutionContext, ReoptimizationSignal
 from repro.executor.runtime import build_executor
 from repro.expr.evaluate import RowLayout
-from repro.plan.physical import BufCheck, Check, Temp, TableScan, number_plan
+from repro.plan.physical import BufCheck, Check, TableScan, Temp, number_plan
 from repro.plan.properties import PlanProperties, ValidityRange
 from repro.storage.catalog import Catalog
 from repro.storage.table import Schema

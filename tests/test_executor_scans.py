@@ -3,7 +3,7 @@
 import pytest
 
 from repro.executor.base import ExecutionContext
-from repro.executor.runtime import build_executor, run_plan
+from repro.executor.runtime import build_executor
 from repro.expr.evaluate import RowLayout
 from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
 from repro.expr.predicates import Between, Comparison

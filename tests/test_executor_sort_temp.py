@@ -1,6 +1,5 @@
 """Tests for SORT and TEMP materialization operators."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -2,9 +2,8 @@
 cross-query learning, adaptive re-optimization limits, work-budget
 re-optimization, and the uncertainty-averse plan mode."""
 
-import pytest
 
-from repro import Database, PopConfig
+from repro import PopConfig
 from repro.core.learning import LearnedCardinalities
 from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
 from repro.expr.predicates import Comparison, JoinPredicate, predicate_set_id
@@ -55,8 +54,6 @@ class TestLearning:
             star_db.execute(literal_query())
             query = literal_query()
             feedback = learning.seed()
-            from repro.optimizer.cardinality import CardinalityEstimator
-
             signature = (
                 frozenset({"c"}), predicate_set_id(query.local_predicates)
             )

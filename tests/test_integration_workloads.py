@@ -3,7 +3,7 @@
 import pytest
 
 from repro import PopConfig
-from repro.core.flavors import ECB, LC, LCEM
+from repro.core.flavors import ECB, LC
 from repro.workloads.dmv.queries import dmv_queries
 from repro.workloads.tpch.queries import Q10_MARKER, TPCH_QUERIES
 from tests.conftest import canonical

@@ -1,8 +1,7 @@
 """Tests for harvesting feedback and intermediate results after a CHECK."""
 
-import pytest
 
-from repro import Database, PopConfig
+from repro import PopConfig
 from repro.core.feedback import CardinalityFeedback
 from repro.core.intermediates import harvest_execution_state
 from repro.executor.base import ExecutionContext, ReoptimizationSignal

@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro import Database, MetricsRegistry, PopConfig, Tracer
+from repro import Database, MetricsRegistry, Tracer
 from repro.expr.expressions import ColumnRef, ParameterMarker
 from repro.expr.predicates import Comparison, JoinPredicate
 from repro.obs import QERROR_BUCKETS, read_jsonl

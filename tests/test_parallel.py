@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, PopConfig
+from repro import PopConfig
 from repro.common.errors import ExecutionError
 from repro.parallel import PartitionedExecutor
 from tests.conftest import canonical

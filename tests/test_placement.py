@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, PopConfig
+from repro import PopConfig
 from repro.core.flavors import ECB, ECDC, ECWC, LC, LCEM
 from repro.core.placement import place_checkpoints
 from repro.expr.expressions import ColumnRef, Literal

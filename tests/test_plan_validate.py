@@ -75,7 +75,7 @@ class TestViolationsDetected:
             validate_plan(plan)
 
     def test_inverted_check_range_detected(self, star_db):
-        from repro.plan.physical import Check, Return
+        from repro.plan.physical import Check
         from repro.plan.properties import ValidityRange
 
         plan = star_db.optimizer.optimize(
@@ -86,3 +86,42 @@ class TestViolationsDetected:
         plan.children[0] = bad
         with pytest.raises(PlanInvariantError, match="inverted check range"):
             validate_plan(plan)
+
+
+class TestCollectMode:
+    """validate_plan(root, collect=True): the linter's structural backend."""
+
+    def test_clean_plan_collects_nothing(self, star_db):
+        plan = star_db.optimizer.optimize(
+            star_db._to_query("SELECT c.c_id FROM cust c")
+        ).plan
+        assert validate_plan(plan, collect=True) == []
+
+    def test_collect_gathers_every_violation_without_raising(self, star_db):
+        plan = star_db.optimizer.optimize(
+            star_db._to_query("SELECT c.c_id FROM cust c")
+        ).plan
+        plan.est_card = -1.0
+        plan.est_cost = -10.0
+        violations = validate_plan(plan, collect=True)
+        assert len(violations) == 2
+        assert any("negative cardinality" in v for v in violations)
+        assert any("negative cost" in v for v in violations)
+        # Fail-fast mode still raises on the first of them.
+        with pytest.raises(PlanInvariantError):
+            validate_plan(plan)
+
+    def test_collect_survives_malformed_join_arity(self, star_db):
+        plan = star_db.optimizer.optimize(
+            star_db._to_query(
+                "SELECT c.c_id, o.o_id FROM cust c "
+                "JOIN orders o ON c.c_id = o.o_custkey"
+            )
+        ).plan
+        from repro.plan.physical import JoinOp, find_ops
+
+        join = find_ops(plan, JoinOp)[0]
+        del join.children[1]
+        join.validity_ranges.pop()
+        violations = validate_plan(plan, collect=True)
+        assert any("exactly two children" in v for v in violations)

@@ -1,6 +1,5 @@
 """Tests for plan properties and validity ranges."""
 
-import math
 
 from hypothesis import given
 from hypothesis import strategies as st

@@ -5,7 +5,7 @@ import pytest
 from repro.common.errors import BindError
 from repro.common.values import date_to_days
 from repro.expr.expressions import Literal, ParameterMarker
-from repro.expr.predicates import Between, Comparison, InList, Like, Or
+from repro.expr.predicates import Between, Comparison, InList, Or
 from repro.sql.binder import bind_sql
 from repro.storage.catalog import Catalog
 from repro.storage.table import Schema

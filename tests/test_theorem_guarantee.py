@@ -10,7 +10,6 @@ expensive at and beyond that bound.
 
 import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,13 +2,11 @@
 
 import math
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.optimizer.validity import (
     DEFAULT_MAX_ITERATIONS,
-    SensitivityResult,
     _probe,
     narrow_validity_range,
 )

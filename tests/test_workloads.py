@@ -4,7 +4,6 @@ import collections
 
 import pytest
 
-from repro.workloads.dmv import schema as dmv_schema
 from repro.workloads.dmv.generator import DmvScale, generate_dmv
 from repro.workloads.dmv.queries import dmv_queries
 from repro.workloads.tpch.generator import TpchScale, generate_tpch
