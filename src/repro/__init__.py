@@ -14,10 +14,12 @@ Public API highlights:
 * :class:`PopConfig` — checkpoint flavors, re-optimization limits, reuse
   policy.
 * :class:`Query` and the expression classes — programmatic query building.
+* :class:`ResiliencePolicy` and :class:`FaultPlan` — execution guard knobs
+  and seeded fault injection (see :mod:`repro.resilience`).
 """
 
 from repro.analysis import Finding, LintContext, PlanLintError, lint_plan
-from repro.core.config import NO_POP, PopConfig
+from repro.core.config import NO_POP, PopConfig, ResiliencePolicy
 from repro.core.database import Database, Result
 from repro.core.driver import PopDriver, PopReport
 from repro.core.flavors import ALL_FLAVORS, DEFAULT_FLAVORS, TABLE1
@@ -36,6 +38,7 @@ from repro.optimizer.costmodel import DEFAULT_COST_PARAMS, CostParams
 from repro.optimizer.enumeration import OptimizerOptions
 from repro.plan.analyze import explain_analyze
 from repro.plan.logical import Aggregate, OrderItem, Query, TableRef
+from repro.resilience import FaultPlan, FaultSpec
 
 __version__ = "1.0.0"
 
@@ -44,6 +47,9 @@ __all__ = [
     "Result",
     "PopConfig",
     "NO_POP",
+    "ResiliencePolicy",
+    "FaultPlan",
+    "FaultSpec",
     "PopDriver",
     "PopReport",
     "CostParams",

@@ -19,6 +19,19 @@ breaks the reproduction rather than crashing it:
 * **bare-except** — no ``except:``: it would swallow
   :class:`~repro.executor.base.ReoptimizationSignal`, which must always
   propagate to the POP driver.
+* **close-guarded** — operator ``close()`` overrides may only read
+  attributes assigned in ``__init__`` (of the class or an ancestor): the
+  runtime closes every registered operator in a ``finally`` block, so
+  ``close`` must be safe on a half-opened operator and when called twice.
+  An attribute first assigned in ``open()`` would raise AttributeError on
+  exactly the error paths ``close`` exists to clean up.
+* **fault-isolation** — fault injection stays inside
+  ``repro.resilience``: no module outside it may import
+  ``repro.resilience.faults`` directly or reference a ``fault_injector``
+  attribute, except the three sanctioned plumbing sites (the context
+  declaration in ``executor/base.py``, the arm site in
+  ``executor/runtime.py``, and the driver).  Package-level imports
+  (``from repro.resilience import FaultPlan``) stay legal everywhere.
 
 Pure stdlib (``ast``); no third-party linter is needed at runtime.
 """
@@ -34,6 +47,15 @@ from repro.analysis.findings import ERROR, WARN, Finding
 #: Module paths (posix, relative to the scan root) where direct
 #: ``random``/``time`` usage is legitimate.
 DETERMINISM_ALLOWED = ("common/rng.py", "obs/")
+
+#: Where ``fault_injector`` references are sanctioned: the resilience
+#: package itself plus the three plumbing sites (declaration, arm, driver).
+FAULT_ISOLATION_ALLOWED = (
+    "resilience/",
+    "executor/base.py",
+    "executor/runtime.py",
+    "core/driver.py",
+)
 
 #: The executor protocol methods and the delegation each override owes.
 _PROTOCOL_SUPER = {"open": "open", "close": "close"}
@@ -77,9 +99,11 @@ def check_source_tree(root: str) -> list[Finding]:
     for rel, tree in trees.items():
         findings.extend(check_determinism(tree, rel))
         findings.extend(check_bare_except(tree, rel))
+        findings.extend(check_fault_isolation(tree, rel))
         if rel.endswith("optimizer/costmodel.py"):
             findings.extend(check_float_eq(tree, rel))
     findings.extend(check_iterator_contract(trees))
+    findings.extend(check_close_guarded(trees))
     return findings
 
 
@@ -89,8 +113,10 @@ def check_module(source: str, filename: str = "<snippet>") -> list[Finding]:
     tree = ast.parse(source, filename=filename)
     findings = list(check_determinism(tree, filename))
     findings.extend(check_bare_except(tree, filename))
+    findings.extend(check_fault_isolation(tree, filename))
     findings.extend(check_float_eq(tree, filename))
     findings.extend(check_iterator_contract({filename: tree}))
+    findings.extend(check_close_guarded({filename: tree}))
     return findings
 
 
@@ -325,6 +351,168 @@ def check_iterator_contract(trees: dict[str, ast.Module]) -> Iterator[Finding]:
                     file=rel,
                     line=method.lineno,
                 )
+
+
+# ---------------------------------------------------------- close-guarded
+
+
+def _init_assigned_attrs(node: ast.ClassDef) -> set[str]:
+    """Attribute names assigned on ``self`` in this class's ``__init__``."""
+    init = _methods(node).get("__init__")
+    if init is None:
+        return set()
+    assigned: set[str] = set()
+    for sub in ast.walk(init):
+        targets: list[ast.expr] = []
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+            targets = [sub.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                assigned.add(target.attr)
+    return assigned
+
+
+def check_close_guarded(trees: dict[str, ast.Module]) -> Iterator[Finding]:
+    """Operator ``close()`` reads only ``__init__``-assigned attributes.
+
+    The runtime closes every registered operator in a ``finally`` block —
+    after mid-``open`` failures, injected faults, and a completed run alike
+    — so ``close`` must work on a half-initialized instance and when
+    invoked twice.  The static approximation: every ``self.X`` *load*
+    inside a ``close`` override must name an attribute assigned in the
+    ``__init__`` (or a method/property defined) of the class or one of its
+    scanned ancestors.  Classes whose base chain leaves the scanned
+    sources are skipped — their contract cannot be resolved.
+    """
+    classes: dict[str, tuple[str, ast.ClassDef]] = {}
+    for rel, tree in trees.items():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                classes.setdefault(node.name, (rel, node))
+
+    def chain(name: str, seen: frozenset = frozenset()) -> Optional[list[str]]:
+        """The class plus all ancestors up to Operator; None if the chain
+        leaves the scanned sources before reaching Operator."""
+        if name not in classes or name in seen:
+            return None
+        if name == "Operator":
+            return ["Operator"]
+        _, node = classes[name]
+        for base in _base_names(node):
+            if base == "object":
+                continue
+            resolved = chain(base, seen | {name})
+            if resolved is not None:
+                return [name] + resolved
+        return None
+
+    for name in sorted(classes):
+        if name == "Operator":
+            continue
+        lineage = chain(name)
+        if lineage is None:
+            continue  # not an Operator (or unresolvable chain)
+        rel, node = classes[name]
+        close = _methods(node).get("close")
+        if close is None:
+            continue
+        safe: set[str] = set()
+        for ancestor in lineage:
+            _, anode = classes[ancestor]
+            safe |= _init_assigned_attrs(anode)
+            safe |= set(_methods(anode))
+        for sub in ast.walk(close):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+                and isinstance(sub.ctx, (ast.Load, ast.Del))
+                and sub.attr not in safe
+            ):
+                yield Finding(
+                    rule="close-guarded",
+                    severity=ERROR,
+                    message=(
+                        f"{name}.close() reads self.{sub.attr}, which is "
+                        "never assigned in __init__: close() runs in a "
+                        "finally block and must be safe on a half-opened "
+                        "operator (assign a default in __init__)"
+                    ),
+                    file=rel,
+                    line=sub.lineno,
+                )
+
+
+# -------------------------------------------------------- fault isolation
+
+
+def _fault_isolation_allowed(rel: str) -> bool:
+    normalized = rel.replace(os.sep, "/")
+    return any(
+        normalized.startswith(p) or normalized.endswith(p)
+        for p in FAULT_ISOLATION_ALLOWED
+    )
+
+
+def check_fault_isolation(tree: ast.Module, rel: str) -> Iterator[Finding]:
+    """Fault-injection hooks stay confined to ``repro.resilience``.
+
+    Outside the allowlisted plumbing sites, neither the
+    ``repro.resilience.faults`` machinery module nor a ``fault_injector``
+    attribute may be referenced.  The public package surface
+    (``from repro.resilience import FaultPlan``) is exempt — that is the
+    supported way to *request* fault injection.
+    """
+    if _fault_isolation_allowed(rel):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module is not None and node.module.startswith(
+                "repro.resilience."
+            ):
+                yield Finding(
+                    rule="fault-isolation",
+                    severity=ERROR,
+                    message=(
+                        f"import of {node.module} outside repro.resilience: "
+                        "use the package surface (from repro.resilience "
+                        "import ...) so injection machinery stays confined"
+                    ),
+                    file=rel,
+                    line=node.lineno,
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.resilience."):
+                    yield Finding(
+                        rule="fault-isolation",
+                        severity=ERROR,
+                        message=(
+                            f"import of {alias.name} outside "
+                            "repro.resilience: use the package surface"
+                        ),
+                        file=rel,
+                        line=node.lineno,
+                    )
+        elif isinstance(node, ast.Attribute) and node.attr == "fault_injector":
+            yield Finding(
+                rule="fault-isolation",
+                severity=ERROR,
+                message=(
+                    "fault_injector referenced outside the sanctioned "
+                    "hook sites (repro.resilience, executor/base.py, "
+                    "executor/runtime.py, core/driver.py): fault "
+                    "injection must not leak into operator logic"
+                ),
+                file=rel,
+                line=node.lineno,
+            )
 
 
 # ------------------------------------------------------------ style sweep

@@ -15,7 +15,8 @@ import sys
 from typing import Any, Callable, Optional, TextIO
 
 from repro import NO_POP, Database, PopConfig
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, failure_class
+from repro.core.config import ResiliencePolicy
 from repro.core.flavors import ALL_FLAVORS
 from repro.obs import MetricsRegistry, Tracer
 
@@ -41,6 +42,8 @@ meta commands:
   \\set NAME VALUE           bind a parameter for ? / :name markers
   \\params                   show current parameter bindings
   \\timing on|off            print work units and wall time per statement
+  \\chaos SEED|off           run statements under seeded fault injection
+                            (retry/backoff and safe-plan fallback engaged)
   \\trace on|off [FILE]      record a JSONL execution trace (spans/events
                             for optimize, checkpoint placement, execution,
                             re-optimization; default file repro_trace.jsonl)
@@ -65,6 +68,11 @@ class Shell:
         self.params: dict[str, Any] = {}
         self.timing = True
         self.running = True
+        #: ``\chaos SEED`` runs every statement under seeded fault
+        #: injection with the execution guard engaged; per-statement seeds
+        #: derive from this plus a statement counter.
+        self.chaos_seed: Optional[int] = None
+        self._chaos_statements = 0
         #: Engine metrics accumulate across the session; ``\metrics`` shows
         #: them, ``\metrics reset`` clears them.
         self.metrics = MetricsRegistry()
@@ -119,7 +127,7 @@ class Shell:
         try:
             handler(args)
         except ReproError as exc:
-            self.write(f"error: {exc}")
+            self.write(self._format_error(exc))
 
     def _meta_help(self, args) -> None:
         self.write(HELP)
@@ -192,7 +200,7 @@ class Shell:
                 metrics=self.metrics,
             )
         except ReproError as exc:
-            self.write(f"error: {exc}")
+            self.write(self._format_error(exc))
             return
         finally:
             self._flush_trace()
@@ -319,6 +327,25 @@ class Shell:
             self.timing = args[0] == "on"
         self.write(f"timing is {'on' if self.timing else 'off'}")
 
+    def _meta_chaos(self, args) -> None:
+        if not args:
+            if self.chaos_seed is None:
+                self.write("chaos is off")
+            else:
+                self.write(f"chaos is on (seed {self.chaos_seed})")
+            return
+        if args[0] == "off":
+            self.chaos_seed = None
+            self.write("chaos off")
+            return
+        try:
+            self.chaos_seed = int(args[0])
+        except ValueError:
+            self.write("usage: \\chaos SEED | \\chaos off")
+            return
+        self._chaos_statements = 0
+        self.write(f"chaos on (seed {self.chaos_seed})")
+
     def _meta_trace(self, args) -> None:
         if not args:
             if self.tracer is None:
@@ -353,12 +380,35 @@ class Shell:
 
     # ------------------------------------------------------------------ SQL
 
+    @staticmethod
+    def _format_error(exc: ReproError) -> str:
+        """One-line classified error, e.g. ``error[transient]: ...``."""
+        return f"error[{failure_class(exc)}]: {exc}"
+
     def _config(self) -> PopConfig:
+        resilience = (
+            ResiliencePolicy() if self.chaos_seed is not None else None
+        )
         if not self.pop_enabled:
+            if resilience is not None:
+                return PopConfig(enabled=False, resilience=resilience)
             return NO_POP
         if self.flavors is not None:
-            return PopConfig(flavors=self.flavors)
-        return PopConfig()
+            return PopConfig(flavors=self.flavors, resilience=resilience)
+        return PopConfig(resilience=resilience)
+
+    def _faults(self):
+        """The next statement's fault plan when ``\\chaos`` is on."""
+        if self.chaos_seed is None:
+            return None
+        from repro.resilience import ALL_KINDS, FaultPlan
+
+        self._chaos_statements += 1
+        return FaultPlan.seeded(
+            self.chaos_seed + self._chaos_statements - 1,
+            kinds=ALL_KINDS,
+            tables=[t.name for t in self.db.catalog.tables()],
+        )
 
     def _flush_trace(self) -> None:
         """Rewrite the trace file with everything recorded so far."""
@@ -379,9 +429,10 @@ class Shell:
                 pop=self._config(),
                 tracer=self.tracer,
                 metrics=self.metrics,
+                faults=self._faults(),
             )
         except ReproError as exc:
-            self.write(f"error: {exc}")
+            self.write(self._format_error(exc))
             return
         finally:
             self._flush_trace()
@@ -398,11 +449,16 @@ class Shell:
             self.write(f"... ({len(result.rows)} rows total)")
         if self.timing:
             report = result.report
-            note = (
-                f" ({report.reoptimizations} re-optimization(s))"
-                if report.reoptimizations
-                else ""
-            )
+            notes = []
+            if report.reoptimizations:
+                notes.append(f"{report.reoptimizations} re-optimization(s)")
+            if report.faults_injected:
+                notes.append(f"{report.faults_injected} fault(s)")
+            if report.retries:
+                notes.append(f"{report.retries} retry(ies)")
+            if report.fallback_used:
+                notes.append("safe-plan fallback")
+            note = f" ({', '.join(notes)})" if notes else ""
             self.write(
                 f"{len(result.rows)} row(s), {report.total_units:,.0f} work "
                 f"units, {report.wall_seconds * 1000:.1f} ms{note}"

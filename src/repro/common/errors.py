@@ -48,9 +48,62 @@ class ExecutionError(ReproError):
     """A runtime failure inside the executor."""
 
 
+class TransientError(ExecutionError):
+    """A failure that may not recur on retry (lost page read, injected
+    chaos fault, flaky resource).  The execution guard retries these with
+    capped exponential backoff before falling back to a safe plan."""
+
+
+class ResourceExhausted(TransientError):
+    """A runtime resource (memory grant, buffer) shrank below the minimum
+    the operator can make progress with.  Transient: a retry re-plans and
+    may avoid the starved operator entirely."""
+
+
+class ExecutionTimeout(ExecutionError):
+    """The statement exceeded its work-unit deadline.  Not retried — the
+    same plan would time out again; the guard goes straight to the
+    safe-plan fallback."""
+
+
 class UnboundParameterError(ExecutionError):
     """A parameter marker had no value bound at execution time."""
 
 
 class StatisticsError(ReproError):
     """Statistics are missing or inconsistent for an estimation request."""
+
+
+#: Failure classes returned by :func:`failure_class`.
+TRANSIENT = "transient"
+RESOURCE = "resource"
+TIMEOUT = "timeout"
+USER = "user"
+FATAL = "fatal"
+
+#: Errors caused by the statement itself (bad SQL, unknown objects) rather
+#: than by the runtime; retrying or re-planning cannot help.
+_USER_ERRORS = (ParseError, BindError, SchemaError, CatalogError)
+
+
+def failure_class(exc: BaseException) -> str:
+    """Classify an exception for the execution guard and the CLI.
+
+    ``transient`` / ``resource`` failures are retryable, ``timeout`` goes
+    straight to the safe-plan fallback, ``user`` means the statement is at
+    fault, and ``fatal`` is everything else (a genuine engine failure).
+    """
+    if isinstance(exc, ResourceExhausted):
+        return RESOURCE
+    if isinstance(exc, TransientError):
+        return TRANSIENT
+    if isinstance(exc, ExecutionTimeout):
+        return TIMEOUT
+    if isinstance(exc, _USER_ERRORS):
+        return USER
+    return FATAL
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether the guard may retry the attempt after this failure."""
+    return isinstance(exc, TransientError)

@@ -9,6 +9,48 @@ from repro.core.flavors import DEFAULT_FLAVORS
 
 
 @dataclass
+class ResiliencePolicy:
+    """Knobs of the execution guard (:mod:`repro.resilience`).
+
+    Attached to :class:`PopConfig` (``resilience=...``), the guard wraps
+    every execution attempt: transient failures are retried with capped
+    exponential backoff (charged to the work meter, so retries are visible
+    in the same cost currency as everything else), a circuit breaker
+    detects re-optimization thrash and runaway attempt counts, and — once
+    tripped — the statement completes on a conservative POP-disabled
+    safe plan that cannot signal re-optimization.
+    """
+
+    #: Transient failures retried per statement before the breaker trips.
+    max_retries: int = 2
+    #: Backoff charged to the meter before retry ``k`` is
+    #: ``min(cap, base * factor**k)`` work units.
+    backoff_base_units: float = 50.0
+    backoff_factor: float = 2.0
+    backoff_cap_units: float = 800.0
+    #: Per-attempt work-unit deadline; ``None`` disables the deadline.
+    #: Exceeding it raises :class:`~repro.common.errors.ExecutionTimeout`,
+    #: which goes straight to the safe-plan fallback (no retry).
+    deadline_units: Optional[float] = None
+    #: Breaker: trip when the same join order ends in a re-optimization
+    #: signal this many times (thrash), ...
+    breaker_same_plan_limit: int = 3
+    #: ... or when one statement accumulates this many execution attempts
+    #: (optimize+execute rounds, retries included).
+    breaker_attempt_limit: int = 8
+    #: When the breaker trips (or retries are exhausted), fall back to the
+    #: safe plan instead of raising.  Disable to surface the failure.
+    fallback_enabled: bool = True
+
+    def backoff_units(self, retry_index: int) -> float:
+        """Backoff charge before retry number ``retry_index`` (0-based)."""
+        return min(
+            self.backoff_cap_units,
+            self.backoff_base_units * self.backoff_factor**retry_index,
+        )
+
+
+@dataclass
 class PopConfig:
     """Controls progressive optimization for one statement.
 
@@ -56,6 +98,11 @@ class PopConfig:
     #: plans, where feedback consistency is also audited — and fail the
     #: statement on error-severity findings.
     strict_analysis: bool = False
+    #: Execution-guard policy (:mod:`repro.resilience`): retry/backoff for
+    #: transient failures, work-unit deadline, circuit breaker, safe-plan
+    #: fallback.  ``None`` disables the guard entirely (the default — no
+    #: behavior change and zero overhead).
+    resilience: Optional[ResiliencePolicy] = None
 
     def reopt_limit_for(self, query) -> int:
         """The effective re-optimization cap for ``query``."""

@@ -129,19 +129,22 @@ class Database:
         meter: Optional[WorkMeter] = None,
         tracer=None,
         metrics=None,
+        faults=None,
     ) -> Result:
         """Run a statement; POP is enabled by default.
 
         ``tracer`` / ``metrics`` (see :mod:`repro.obs`) attach structured
         tracing and metric collection to this statement; both default to
-        off, which costs nothing.
+        off, which costs nothing.  ``faults`` (a
+        :class:`repro.resilience.FaultPlan`) runs the statement under
+        fault injection with the execution guard engaged.
         """
         query = self._to_query(statement)
         config = pop if pop is not None else PopConfig()
         driver = PopDriver(self.optimizer, config, tracer=tracer, metrics=metrics)
         feedback = self.learning.seed() if self.learning is not None else None
         rows, report = driver.run(
-            query, params=params, meter=meter, feedback=feedback
+            query, params=params, meter=meter, feedback=feedback, faults=faults
         )
         if self.learning is not None and feedback is not None:
             self.learning.absorb(feedback)

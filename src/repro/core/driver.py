@@ -15,11 +15,11 @@ observes duplicates (paper §3.3).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from repro.analysis.plan_lint import LintContext, assert_plan_clean
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, ReproError, failure_class
 from repro.core.config import PopConfig
 from repro.core.feedback import CardinalityFeedback
 from repro.core.intermediates import harvest_execution_state
@@ -36,6 +36,7 @@ from repro.optimizer.optimizer import Optimizer
 from repro.plan.explain import explain_plan, join_order
 from repro.plan.logical import Query
 from repro.plan.physical import AntiJoin, MVScan, PlanOp, Return, find_ops
+from repro.resilience import FALLBACK, RAISE, ExecutionGuard, FaultInjector
 
 #: Harvest configuration for completed runs: feedback only, no temp MVs.
 _FEEDBACK_ONLY = PopConfig(reuse_policy="never")
@@ -94,6 +95,11 @@ class AttemptReport:
     #: op_id -> (rows emitted, reached end-of-stream) observed at runtime;
     #: feeds EXPLAIN ANALYZE (estimated vs actual per operator).
     actual_cards: dict = field(default_factory=dict)
+    #: Set when this attempt ended in a classified failure (guard path).
+    failure: Optional[str] = None
+    failure_class: Optional[str] = None
+    #: True for the conservative safe plan run after the guard gave up.
+    fallback: bool = False
 
     @property
     def reoptimized(self) -> bool:
@@ -108,6 +114,13 @@ class PopReport:
     total_units: float
     wall_seconds: float
     pop_enabled: bool
+    #: Resilience accounting (zeros when no guard/faults were configured).
+    retries: int = 0
+    backoff_units: float = 0.0
+    breaker_tripped: bool = False
+    fallback_used: bool = False
+    fallback_reason: Optional[str] = None
+    faults_injected: int = 0
 
     @property
     def reoptimizations(self) -> int:
@@ -132,17 +145,30 @@ class PopReport:
             f"{self.total_units:.1f} work units",
         ]
         for i, a in enumerate(self.attempts):
-            tag = (
-                f" -> reopt at CHECK[{a.signal_flavor}] op={a.signal_op_id} "
-                f"observed={a.signal_observed:.0f}"
-                if a.reoptimized
-                else " -> completed"
-            )
+            if a.reoptimized:
+                tag = (
+                    f" -> reopt at CHECK[{a.signal_flavor}] op={a.signal_op_id} "
+                    f"observed={a.signal_observed:.0f}"
+                )
+            elif a.failure is not None:
+                tag = f" -> failed[{a.failure_class}]"
+            else:
+                tag = " -> completed"
+            label = "fallback" if a.fallback else f"attempt {i}"
             lines.append(
-                f"  attempt {i}: {a.join_order} "
+                f"  {label}: {a.join_order} "
                 f"(exec {a.execution_units:.1f}u, opt {a.optimization_units:.1f}u)"
                 + tag
             )
+        if self.retries or self.breaker_tripped or self.fallback_used:
+            detail = f"  resilience: {self.retries} retry(ies)"
+            if self.backoff_units:
+                detail += f", {self.backoff_units:.1f}u backoff"
+            if self.breaker_tripped:
+                detail += ", breaker tripped"
+            if self.fallback_used:
+                detail += f", safe-plan fallback ({self.fallback_reason})"
+            lines.append(detail)
         return "\n".join(lines)
 
 
@@ -176,11 +202,17 @@ class PopDriver:
         params: Optional[dict[str, Any]] = None,
         meter: Optional[WorkMeter] = None,
         feedback: Optional[CardinalityFeedback] = None,
+        faults=None,
     ) -> tuple[list[tuple], PopReport]:
         """Execute ``query`` and return (rows, report).
 
         ``feedback`` may be pre-seeded (cross-query learning, §7); the
         driver mutates it with everything observed during this statement.
+        ``faults`` is an optional :class:`repro.resilience.FaultPlan`; when
+        given (or when ``config.resilience`` is set) attempts run under the
+        execution guard: classified failures retry with backoff, and
+        exhausted retries / blown deadlines / a tripped re-optimization
+        breaker divert to the safe-plan fallback.
         """
         config = self.config
         cost_model = self.optimizer.cost_model
@@ -194,6 +226,12 @@ class PopDriver:
         delivered: list[tuple] = []
         attempts: list[AttemptReport] = []
         self._apply_reuse_policy()
+        injector = FaultInjector(faults) if faults is not None else None
+        guard = None
+        if config.resilience is not None or injector is not None:
+            guard = ExecutionGuard(
+                config.resilience, meter=meter, tracer=tracer, metrics=metrics
+            )
         started = wall_clock()
         stmt_span = None
         if tracer is not None:
@@ -203,10 +241,95 @@ class PopDriver:
                 pop=config.enabled,
                 tables=len(query.tables),
                 reopt_limit=reopt_limit,
+                guarded=guard is not None,
             )
         if metrics is not None:
             metrics.inc("pop.statements")
+        if guard is not None:
+            guard.begin_statement(injector, self.catalog)
+        try:
+            delivered = self._run_guarded(
+                query,
+                params,
+                meter,
+                feedback,
+                config,
+                cost_model,
+                reopt_limit,
+                compensation,
+                attempts,
+                guard,
+                injector,
+                stmt_span,
+            )
+        finally:
+            if guard is not None:
+                guard.end_statement()
+            self.catalog.clear_temp_mvs()
+        wall = wall_clock() - started
+        if metrics is not None:
+            metrics.inc("pop.attempts", len(attempts))
+            for category, units in meter.by_category().items():
+                metrics.set_gauge("work.units", units, category=category)
+        if tracer is not None:
+            tracer.end_span(
+                stmt_span,
+                attempts=len(attempts),
+                reoptimizations=sum(1 for a in attempts if a.reoptimized),
+                total_units=meter.snapshot(),
+                rows=len(delivered),
+                retries=guard.retries if guard is not None else 0,
+                fallback=(
+                    guard.fallback_reason is not None
+                    if guard is not None
+                    else False
+                ),
+            )
+        return delivered, PopReport(
+            attempts=attempts,
+            total_units=meter.snapshot(),
+            wall_seconds=wall,
+            pop_enabled=config.enabled,
+            retries=guard.retries if guard is not None else 0,
+            backoff_units=(
+                guard.backoff_units_charged if guard is not None else 0.0
+            ),
+            breaker_tripped=(
+                guard.breaker_tripped if guard is not None else False
+            ),
+            fallback_used=(
+                guard.fallback_reason is not None if guard is not None else False
+            ),
+            fallback_reason=(
+                guard.fallback_reason if guard is not None else None
+            ),
+            faults_injected=len(injector.fired) if injector is not None else 0,
+        )
+
+    def _run_guarded(
+        self,
+        query: Query,
+        params,
+        meter: WorkMeter,
+        feedback: CardinalityFeedback,
+        config: PopConfig,
+        cost_model,
+        reopt_limit: int,
+        compensation: Counter,
+        attempts: list,
+        guard,
+        injector,
+        stmt_span,
+    ) -> list[tuple]:
+        """The optimize/execute loop of :meth:`run` (Figure 3), guarded."""
+        tracer = self.tracer
+        metrics = self.metrics
+        delivered: list[tuple] = []
+        #: ``attempt`` indexes reports; ``reopt_round`` consumes the
+        #: re-optimization budget.  Guard retries advance only the former,
+        #: so a transient crash never eats a CHECK's re-planning round.
         attempt = 0
+        reopt_round = 0
         while True:
             attempt_span = (
                 tracer.start_span("pop.attempt", parent=stmt_span, attempt=attempt)
@@ -238,7 +361,7 @@ class PopDriver:
                 metrics.inc("optimizer.plans_enumerated", opt.plans_enumerated)
                 metrics.inc("optimizer.newton_iterations", opt.newton_iterations)
 
-            can_reopt = config.enabled and attempt < reopt_limit
+            can_reopt = config.enabled and reopt_round < reopt_limit
             place_span = (
                 tracer.start_span("pop.place_checkpoints", parent=attempt_span)
                 if tracer is not None
@@ -283,6 +406,12 @@ class PopDriver:
                 work_budget=budget,
                 tracer=tracer,
                 metrics=metrics,
+                fault_injector=injector,
+                work_deadline=(
+                    guard.deadline_for_attempt(meter)
+                    if guard is not None
+                    else None
+                ),
             )
             ctx.compensation = compensation
             if tracer is not None:
@@ -345,6 +474,60 @@ class PopDriver:
                     harvested_mvs=registered,
                 )
                 attempt += 1
+                reopt_round += 1
+                if guard is not None and guard.on_reoptimize(
+                    report.join_order, attempt
+                ):
+                    guard.request_fallback(
+                        "re-optimization breaker tripped"
+                    )
+                    delivered.extend(
+                        self._run_fallback(
+                            query, params, meter, compensation, attempts,
+                            stmt_span, attempt,
+                        )
+                    )
+                    return delivered
+                continue
+            except ReproError as exc:
+                report.execution_units = meter.snapshot() - units_before_exec
+                report.checkpoint_events = ctx.checkpoint_events
+                report.actual_cards = _collect_actuals(ctx)
+                report.rows_emitted = ctx.rows_returned
+                report.failure = str(exc)
+                report.failure_class = failure_class(exc)
+                attempts.append(report)
+                decision = guard.on_failure(exc) if guard is not None else RAISE
+                self._observe_attempt(
+                    ctx, report, attempt_span, interrupted=True
+                )
+                if decision == RAISE:
+                    raise
+                # Rows already pipelined to the application before the
+                # failure must not be re-delivered: fold them into the
+                # ECDC compensation set, same as a late CHECK (§3.3).
+                if ctx.rows_returned:
+                    for row in sink:
+                        compensation[row] += 1
+                    delivered.extend(sink)
+                    if metrics is not None:
+                        metrics.inc("pop.compensation_rows", len(sink))
+                # Retries re-plan with whatever exact cardinalities the
+                # failed attempt managed to observe (feedback only, no MV
+                # promotion from a half-run plan).
+                if config.use_feedback:
+                    harvest_execution_state(
+                        ctx, None, feedback, self.catalog, _FEEDBACK_ONLY
+                    )
+                attempt += 1
+                if decision == FALLBACK:
+                    delivered.extend(
+                        self._run_fallback(
+                            query, params, meter, compensation, attempts,
+                            stmt_span, attempt,
+                        )
+                    )
+                    return delivered
                 continue
             # Success.
             report.execution_units = meter.snapshot() - units_before_exec
@@ -360,28 +543,95 @@ class PopDriver:
                     ctx, None, feedback, self.catalog, _FEEDBACK_ONLY
                 )
             self._observe_attempt(ctx, report, attempt_span, interrupted=False)
-            break
+            return delivered
 
-        self.catalog.clear_temp_mvs()
-        wall = wall_clock() - started
-        if metrics is not None:
-            metrics.inc("pop.attempts", len(attempts))
-            for category, units in meter.by_category().items():
-                metrics.set_gauge("work.units", units, category=category)
-        if tracer is not None:
-            tracer.end_span(
-                stmt_span,
-                attempts=len(attempts),
-                reoptimizations=sum(1 for a in attempts if a.reoptimized),
-                total_units=meter.snapshot(),
-                rows=len(delivered),
+    def _run_fallback(
+        self,
+        query: Query,
+        params,
+        meter: WorkMeter,
+        compensation: Counter,
+        attempts: list,
+        stmt_span,
+        attempt: int,
+    ) -> list[tuple]:
+        """Run the conservative safe plan (guaranteed to complete).
+
+        POP is disabled (no CHECKs can fire), the optimizer is restricted
+        to robust join flavors (hash and sort-merge — no nested loops whose
+        worst case is quadratic, no temp-MV reuse from the thrashing
+        attempts), and neither fault injection nor a deadline applies: the
+        guard disarmed the injector in :meth:`ExecutionGuard.request_fallback`.
+        """
+        tracer = self.tracer
+        metrics = self.metrics
+        span = (
+            tracer.start_span(
+                "pop.attempt", parent=stmt_span, attempt=attempt, fallback=True
             )
-        return delivered, PopReport(
-            attempts=attempts,
-            total_units=meter.snapshot(),
-            wall_seconds=wall,
-            pop_enabled=config.enabled,
+            if tracer is not None
+            else None
         )
+        options = self.optimizer.options
+        saved_options = replace(options)
+        options.enable_index_nljn = False
+        options.enable_rescan_nljn = False
+        options.enable_hash_join = True
+        options.enable_merge_join = True
+        options.consider_mvs = False
+        options.mv_cost_zero = False
+        try:
+            units_before_opt = meter.snapshot()
+            opt = self.optimizer.optimize(query, None)
+            meter.charge(
+                self.optimizer.cost_model.reoptimization_cost(
+                    opt.plans_enumerated
+                ),
+                "optimize",
+            )
+            opt_units = meter.snapshot() - units_before_opt
+            placement = place_checkpoints(
+                opt.plan, PopConfig(enabled=False), self.optimizer.cost_model
+            )
+            plan = placement.plan
+            if compensation:
+                plan = self._wrap_compensation(plan)
+            if self.config.strict_analysis:
+                self._lint_attempt_plan(plan, None, attempt)
+            ctx = ExecutionContext(
+                self.catalog,
+                params=params,
+                cost_params=self.optimizer.cost_model.params,
+                meter=meter,
+                tracer=tracer,
+                metrics=metrics,
+            )
+            ctx.compensation = compensation
+            if tracer is not None:
+                ctx.exec_span_id = tracer.start_span(
+                    "pop.execute", parent=span, checkpoints=0, fallback=True
+                )
+            sink: list[tuple] = []
+            units_before_exec = meter.snapshot()
+            report = AttemptReport(
+                plan=plan,
+                plan_text=explain_plan(plan),
+                join_order=join_order(plan),
+                checkpoints_placed=0,
+                optimization_units=opt_units,
+                execution_units=0.0,
+                fallback=True,
+            )
+            run_plan(plan, ctx, sink)
+            report.execution_units = meter.snapshot() - units_before_exec
+            report.checkpoint_events = ctx.checkpoint_events
+            report.actual_cards = _collect_actuals(ctx)
+            report.rows_emitted = ctx.rows_returned
+            attempts.append(report)
+            self._observe_attempt(ctx, report, span, interrupted=False)
+            return sink
+        finally:
+            self.optimizer.options = saved_options
 
     # -------------------------------------------------------------- internals
 

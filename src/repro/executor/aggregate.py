@@ -129,6 +129,11 @@ class DistinctExec(Operator):
         self.child.open()
         self._seen = set()
 
+    def close(self) -> None:
+        """Release the duplicate-tracking set (idempotent)."""
+        super().close()
+        self._seen = set()
+
     def next(self) -> Optional[tuple]:
         self.require_open()
         p = self.ctx.cost_params

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, ResourceExhausted
 from repro.executor.meter import WorkMeter
 from repro.optimizer.costmodel import DEFAULT_COST_PARAMS, CostModel, CostParams
 from repro.plan.physical import PlanOp
@@ -77,6 +77,8 @@ class ExecutionContext:
         work_budget: Optional[float] = None,
         tracer=None,
         metrics=None,
+        fault_injector=None,
+        work_deadline: Optional[float] = None,
     ):
         self.catalog = catalog
         self.params = params if params is not None else {}
@@ -101,6 +103,18 @@ class ExecutionContext:
         #: When set, any CHECK also triggers once cumulative work exceeds
         #: this many units (§7: re-optimizing on resource overruns).
         self.work_budget = work_budget
+        #: The single sanctioned fault-injection mount point: a
+        #: :class:`repro.resilience.FaultInjector` (or ``None``).  The
+        #: runtime arms it after building the operator tree; no other
+        #: executor code may reference it (contract rule ``fault-isolation``).
+        self.fault_injector = fault_injector
+        #: Absolute work-unit deadline for this attempt (guard policy);
+        #: exceeded at the plan root -> :class:`ExecutionTimeout`.
+        self.work_deadline = work_deadline
+        #: Memory-pressure factor applied to every sort/hash/temp memory
+        #: grant (1.0 = unconstrained).  Runtime state — mid-execution
+        #: grant shrinks (e.g. chaos faults) lower it.
+        self.mem_shrink = 1.0
         #: All operator instances, registered at construction time, so the
         #: POP driver can harvest counters and materializations afterwards.
         self.operators: list[Operator] = []
@@ -109,6 +123,24 @@ class ExecutionContext:
 
     def register(self, op: "Operator") -> None:
         self.operators.append(op)
+
+    def grant_pages(self, pages: float, category: str) -> float:
+        """The effective memory grant for a ``pages``-page request.
+
+        Applies the current memory-pressure factor; a grant squeezed below
+        one page cannot make progress and raises
+        :class:`~repro.common.errors.ResourceExhausted` (a transient,
+        retryable failure).
+        """
+        if self.mem_shrink >= 1.0:
+            return pages
+        effective = pages * self.mem_shrink
+        if effective < 1.0:
+            raise ResourceExhausted(
+                f"{category} memory grant shrunk below one page "
+                f"({pages:g} -> {effective:.3f})"
+            )
+        return effective
 
     def log_checkpoint(self, event: CheckpointEvent) -> None:
         self.checkpoint_events.append(event)
@@ -179,6 +211,14 @@ class Operator:
         raise NotImplementedError
 
     def close(self) -> None:
+        """Release per-execution state.
+
+        Must be idempotent and safe on a half-opened operator: the runtime
+        closes every registered operator in a ``finally`` block, including
+        after a mid-``open`` failure.  Overrides must delegate to
+        ``super().close()`` and only touch attributes assigned in
+        ``__init__`` (contract rule ``close-guarded``).
+        """
         self._open = False
         self.end_span()
 

@@ -131,12 +131,19 @@ class HashJoinExec(Operator):
         self._charge_spill(self._build_rows)
         self.outer.open()
 
+    def close(self) -> None:
+        """Release the build table and pending matches (idempotent)."""
+        super().close()
+        self._table = {}
+        self._matches = []
+        self._match_pos = 0
+
     def _charge_spill(self, build_rows: int) -> None:
         """Charge the multi-stage partitioning I/O the cost model predicts."""
         cm = self.ctx.cost_model
         p = self.ctx.cost_params
         build_pages = cm.pages_for(build_rows)
-        if build_pages > p.hash_mem_pages:
+        if build_pages > self.ctx.grant_pages(p.hash_mem_pages, "hash"):
             # Approximate the model's spill term with the build contribution
             # now; the probe contribution is charged per probe row below.
             self.ctx.meter.charge(2.0 * build_pages * p.io_page)
@@ -251,3 +258,9 @@ class MergeJoinExec(Operator):
             return self.emit(row)
         self.finish()
         return None
+
+    def close(self) -> None:
+        """Release the merged output buffer (idempotent)."""
+        super().close()
+        self._output = []
+        self._pos = 0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, ExecutionTimeout
 from repro.executor.aggregate import DistinctExec, GroupByExec
 from repro.executor.base import ExecutionContext, Operator
 from repro.executor.check import BufCheckExec, CheckExec
@@ -77,6 +77,14 @@ def build_executor(plan: PlanOp, ctx: ExecutionContext) -> Operator:
     raise ExecutionError(f"no executor for plan operator {plan.KIND}")
 
 
+def _check_deadline(ctx: ExecutionContext, deadline: float) -> None:
+    if ctx.meter.units > deadline:
+        raise ExecutionTimeout(
+            f"work deadline exceeded: {ctx.meter.units:.1f} of "
+            f"{deadline:.1f} units spent"
+        )
+
+
 def run_plan(
     plan: PlanOp,
     ctx: ExecutionContext,
@@ -85,15 +93,33 @@ def run_plan(
     """Build and drain a plan; returns the rows (appended to ``sink``).
 
     Re-optimization signals propagate to the caller with the operator tree
-    left in place inside ``ctx.operators`` for harvesting.
+    left in place inside ``ctx.operators`` for harvesting; every operator is
+    still closed (``close`` is idempotent and does not discard harvested
+    materializations), so no error path leaks open state.
+
+    When a fault injector is mounted on the context, it is armed over the
+    freshly built operator tree here — the single sanctioned injection
+    point (see :mod:`repro.resilience`).  When the context carries a work
+    deadline, it is enforced at the plan root after ``open`` and after
+    every emitted row.
     """
     root = build_executor(plan, ctx)
+    if ctx.fault_injector is not None:
+        ctx.fault_injector.arm(ctx)
     rows = sink if sink is not None else []
-    root.open()
-    while True:
-        row = root.next()
-        if row is None:
-            break
-        rows.append(row)
-    root.close()
+    deadline = ctx.work_deadline
+    try:
+        root.open()
+        if deadline is not None:
+            _check_deadline(ctx, deadline)
+        while True:
+            row = root.next()
+            if row is None:
+                break
+            rows.append(row)
+            if deadline is not None:
+                _check_deadline(ctx, deadline)
+    finally:
+        for op in ctx.operators:
+            op.close()
     return rows

@@ -48,8 +48,9 @@ class SortExec(Operator):
         if n:
             self.ctx.meter.charge(n * max(1.0, math.log2(n + 1)) * p.cpu_sort, "sort")
             pages = self.ctx.cost_model.pages_for(n)
-            if pages > p.sort_mem_pages:
-                passes = math.ceil(math.log(pages / p.sort_mem_pages, 8)) + 1
+            grant = self.ctx.grant_pages(p.sort_mem_pages, "sort")
+            if pages > grant:
+                passes = math.ceil(math.log(pages / grant, 8)) + 1
                 self.ctx.meter.charge(2.0 * pages * p.io_page * passes, "sort")
         self._rows = rows
         self._pos = 0

@@ -35,7 +35,7 @@ class TempExec(Operator):
             self.ctx.meter.charge(p.cpu_temp_insert, "temp")
             rows.append(row)
         pages = self.ctx.cost_model.pages_for(len(rows))
-        if pages > p.temp_mem_pages:
+        if pages > self.ctx.grant_pages(p.temp_mem_pages, "temp"):
             self.ctx.meter.charge(pages * p.io_page, "temp")
         self._rows = rows
         self._pos = 0

@@ -1,0 +1,36 @@
+"""Fault injection, execution guards, and safe-plan fallback for POP.
+
+Deterministic chaos engineering for the prototype: seeded fault schedules
+(:class:`FaultPlan`), an injector that perturbs executor runtime and catalog
+statistics (:class:`FaultInjector`), and the execution guard that keeps the
+POP loop live under those perturbations — retry with backoff, a work-unit
+deadline, a re-optimization circuit breaker, and a conservative safe-plan
+fallback (:class:`ExecutionGuard`, configured by :class:`ResiliencePolicy`).
+
+Run the chaos harness with ``python -m repro.resilience.chaos``.
+"""
+
+from repro.core.config import ResiliencePolicy
+from repro.resilience.faults import (
+    ALL_KINDS,
+    EXEC_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+)
+from repro.resilience.guard import FALLBACK, RAISE, RETRY, ExecutionGuard
+
+__all__ = [
+    "ALL_KINDS",
+    "EXEC_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "FiredFault",
+    "ExecutionGuard",
+    "ResiliencePolicy",
+    "RETRY",
+    "FALLBACK",
+    "RAISE",
+]

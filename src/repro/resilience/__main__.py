@@ -1,0 +1,7 @@
+"""``python -m repro.resilience`` runs the chaos harness."""
+
+import sys
+
+from repro.resilience.chaos import main
+
+sys.exit(main())

@@ -1,0 +1,258 @@
+"""Chaos harness: run the benchmark workloads under seeded fault schedules.
+
+For every workload query and every chaos seed, the harness
+
+1. runs the query once cleanly to establish the oracle result,
+2. derives a per-query fault schedule from the seed (stable across
+   processes — :func:`zlib.crc32`, not ``hash()``),
+3. re-runs the query under fault injection with the execution guard
+   engaged, and
+4. asserts that the guarded run returns oracle-identical rows, that
+   retries stayed within the configured bound, and that every injected
+   fault is visible in the :mod:`repro.obs` trace and metrics.
+
+Exit status is non-zero if any query fails any assertion — the CI chaos
+smoke job runs this over both workloads with two fixed seeds.
+
+Usage::
+
+    python -m repro.resilience.chaos --workload all --seeds 1 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import PopConfig, ResiliencePolicy
+from repro.executor.meter import WorkMeter
+from repro.obs import MetricsRegistry, Tracer
+from repro.resilience.faults import ALL_KINDS, FaultPlan
+
+#: Faults injected per query run; small enough that the guard's default
+#: retry budget can absorb a worst-case all-iterator draw via fallback.
+FAULTS_PER_QUERY = 3
+
+
+def canonical_rows(rows) -> list[tuple]:
+    """Order-insensitive form, floats at 9 significant digits.
+
+    Fault-induced re-plans legitimately change aggregation order, which
+    perturbs float sums near machine precision; 9 significant digits is
+    coarse enough to absorb that and fine enough to catch real wrong
+    results.
+    """
+    return sorted(
+        tuple(
+            float(f"{v:.9g}") if isinstance(v, float) else v for v in row
+        )
+        for row in rows
+    )
+
+
+def query_seed(chaos_seed: int, workload: str, query_name: str) -> int:
+    """Stable per-query seed (crc32 — ``hash()`` varies across processes)."""
+    return zlib.crc32(f"{chaos_seed}:{workload}:{query_name}".encode())
+
+
+@dataclass
+class QueryOutcome:
+    """One (query, seed) chaos run."""
+
+    workload: str
+    query: str
+    chaos_seed: int
+    ok: bool
+    problems: list
+    faults_injected: int = 0
+    retries: int = 0
+    fallback: bool = False
+    reoptimizations: int = 0
+
+
+def _workload_databases(which: str):
+    """(label, database, [(name, sql)]) triples, tiny deterministic scales."""
+    out = []
+    if which in ("tpch", "all"):
+        from repro.workloads.tpch.generator import make_tpch_db
+        from repro.workloads.tpch.queries import TPCH_QUERIES
+
+        out.append(
+            ("tpch", make_tpch_db(scale_factor=0.002, seed=42),
+             list(TPCH_QUERIES.items()))
+        )
+    if which in ("dmv", "all"):
+        from repro.workloads.dmv.generator import DmvScale, make_dmv_db
+        from repro.workloads.dmv.queries import dmv_queries
+
+        scale = DmvScale(
+            owners=1500, cars=2000, accidents=500, violations=700,
+            insurance=2000, dealers=120, inspections=1300, registrations=2000,
+        )
+        out.append(("dmv", make_dmv_db(scale=scale, seed=7), dmv_queries(7)))
+    return out
+
+
+def run_query_under_chaos(
+    db,
+    workload: str,
+    name: str,
+    sql: str,
+    chaos_seed: int,
+    oracle: list,
+    policy: Optional[ResiliencePolicy] = None,
+) -> QueryOutcome:
+    """Execute one query under a seeded fault schedule and audit the run."""
+    policy = policy if policy is not None else ResiliencePolicy()
+    tables = [t.name for t in db.catalog.tables()]
+    plan = FaultPlan.seeded(
+        query_seed(chaos_seed, workload, name),
+        n_faults=FAULTS_PER_QUERY,
+        kinds=ALL_KINDS,
+        tables=tables,
+    )
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    meter = WorkMeter(track_categories=True)
+    config = PopConfig(
+        resilience=policy,
+        strict_analysis=_strict_analysis_requested(),
+    )
+    problems: list[str] = []
+    outcome = QueryOutcome(
+        workload=workload, query=name, chaos_seed=chaos_seed,
+        ok=False, problems=problems,
+    )
+    try:
+        result = db.execute(
+            sql, pop=config, meter=meter, tracer=tracer, metrics=metrics,
+            faults=plan,
+        )
+    except Exception as exc:  # the whole point is that this never happens
+        problems.append(f"unhandled {type(exc).__name__}: {exc}")
+        return outcome
+    report = result.report
+    outcome.faults_injected = report.faults_injected
+    outcome.retries = report.retries
+    outcome.fallback = report.fallback_used
+    outcome.reoptimizations = report.reoptimizations
+    if canonical_rows(result.rows) != oracle:
+        problems.append(
+            f"rows diverge from oracle ({len(result.rows)} vs {len(oracle)})"
+        )
+    if report.retries > policy.max_retries:
+        problems.append(
+            f"retries {report.retries} exceed bound {policy.max_retries}"
+        )
+    # Every injected fault must be observable: one trace event each, and a
+    # matching counter total.
+    events = tracer.events("fault.injected")
+    if len(events) != report.faults_injected:
+        problems.append(
+            f"{report.faults_injected} faults fired but "
+            f"{len(events)} fault.injected events traced"
+        )
+    counted = metrics.total("resilience.faults_injected")
+    if int(counted) != report.faults_injected:
+        problems.append(
+            f"{report.faults_injected} faults fired but metrics counted "
+            f"{int(counted)}"
+        )
+    if report.retries != len(tracer.events("guard.retry")):
+        problems.append("guard.retry events disagree with report.retries")
+    if report.fallback_used and not tracer.events("guard.fallback"):
+        problems.append("fallback used but no guard.fallback event")
+    if report.retries and meter.by_category().get("backoff", 0.0) <= 0.0:
+        problems.append("retries occurred but no backoff units were charged")
+    outcome.ok = not problems
+    return outcome
+
+
+def _strict_analysis_requested() -> bool:
+    return os.environ.get("REPRO_STRICT_ANALYSIS", "").strip() not in ("", "0")
+
+
+def run_chaos(
+    workload: str = "all",
+    seeds: tuple = (1, 2),
+    limit: Optional[int] = None,
+    verbose: bool = True,
+) -> list[QueryOutcome]:
+    """Run the chaos campaign; returns one outcome per (query, seed)."""
+    outcomes: list[QueryOutcome] = []
+    for label, db, queries in _workload_databases(workload):
+        if limit is not None:
+            queries = queries[:limit]
+        oracles = {}
+        for name, sql in queries:
+            oracles[name] = canonical_rows(db.execute(sql).rows)
+        for chaos_seed in seeds:
+            for name, sql in queries:
+                outcome = run_query_under_chaos(
+                    db, label, name, sql, chaos_seed, oracles[name]
+                )
+                outcomes.append(outcome)
+                if verbose:
+                    status = "ok" if outcome.ok else "FAIL"
+                    extras = (
+                        f"faults={outcome.faults_injected} "
+                        f"retries={outcome.retries} "
+                        f"reopts={outcome.reoptimizations}"
+                        + (" fallback" if outcome.fallback else "")
+                    )
+                    print(
+                        f"  [{status}] {label}/{name} seed={chaos_seed} {extras}"
+                    )
+                    for problem in outcome.problems:
+                        print(f"         - {problem}")
+    return outcomes
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience.chaos",
+        description="Run benchmark workloads under seeded fault injection.",
+    )
+    parser.add_argument(
+        "--workload", choices=("tpch", "dmv", "all"), default="all"
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2],
+        help="chaos seeds; each seeds an independent fault campaign",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None,
+        help="run only the first N queries of each workload",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    outcomes = run_chaos(
+        workload=args.workload,
+        seeds=tuple(args.seeds),
+        limit=args.limit,
+        verbose=not args.quiet,
+    )
+    failed = [o for o in outcomes if not o.ok]
+    total_faults = sum(o.faults_injected for o in outcomes)
+    total_retries = sum(o.retries for o in outcomes)
+    fallbacks = sum(1 for o in outcomes if o.fallback)
+    print(
+        f"chaos: {len(outcomes)} runs, {total_faults} faults injected, "
+        f"{total_retries} retries, {fallbacks} fallbacks, "
+        f"{len(failed)} failures"
+    )
+    if failed:
+        for o in failed:
+            print(f"  FAILED {o.workload}/{o.query} seed={o.chaos_seed}:")
+            for problem in o.problems:
+                print(f"    - {problem}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Execution guard: retry/backoff, circuit breaker, and safe-plan fallback.
+
+The guard sits inside :meth:`repro.core.driver.PopDriver.run` and makes the
+POP loop survive the faults :mod:`repro.resilience.faults` (or a hostile
+environment) throws at it:
+
+* **classification** — every :class:`~repro.common.errors.ReproError`
+  escaping an attempt is classified via
+  :func:`~repro.common.errors.failure_class`;
+* **retry with backoff** — transient/resource failures are retried up to
+  ``ResiliencePolicy.max_retries`` times; each retry charges a capped
+  exponential backoff to the :class:`~repro.executor.meter.WorkMeter`
+  (category ``"backoff"``) so waiting costs work units, same as everything
+  else in the deterministic clock;
+* **deadline** — each attempt gets a work-unit deadline
+  (``policy.deadline_units``); blowing it raises
+  :class:`~repro.common.errors.ExecutionTimeout`, which routes to fallback;
+* **circuit breaker** — re-optimization thrash (the optimizer re-choosing
+  the same join order ``breaker_same_plan_limit`` times, or the attempt
+  count exceeding ``breaker_attempt_limit``) trips the breaker;
+* **safe-plan fallback** — once retries are exhausted, the deadline blows,
+  or the breaker trips, the driver runs one conservative POP-disabled plan
+  (robust join flavors only, no CHECKs, no fault injection, no deadline)
+  that is guaranteed to complete.
+
+Every decision is emitted through :mod:`repro.obs` (events ``guard.retry``,
+``guard.breaker_trip``, ``guard.fallback``; counters ``resilience.*``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import RESOURCE, TIMEOUT, TRANSIENT, failure_class
+from repro.core.config import ResiliencePolicy
+
+#: Guard decisions returned by :meth:`ExecutionGuard.on_failure`.
+RETRY = "retry"
+FALLBACK = "fallback"
+RAISE = "raise"
+
+#: Failure classes the guard will retry.
+_RETRYABLE = (TRANSIENT, RESOURCE)
+
+
+class ExecutionGuard:
+    """Per-statement guard state for one :meth:`PopDriver.run` call."""
+
+    def __init__(
+        self,
+        policy: Optional[ResiliencePolicy] = None,
+        meter=None,
+        tracer=None,
+        metrics=None,
+    ):
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.meter = meter
+        self.tracer = tracer
+        self.metrics = metrics
+        self.retries = 0
+        self.backoff_units_charged = 0.0
+        self.breaker_tripped = False
+        self.fallback_reason: Optional[str] = None
+        self._join_order_counts: dict[str, int] = {}
+        self._injector = None
+        self._catalog = None
+
+    # -------------------------------------------------------- statement scope
+
+    def begin_statement(self, injector, catalog) -> None:
+        """Apply statement-level (stats) faults; remember how to undo them."""
+        self._injector = injector
+        self._catalog = catalog
+        if injector is not None and catalog is not None:
+            injector.corrupt_statistics(catalog, self.tracer, self.metrics)
+
+    def end_statement(self) -> None:
+        """Restore any corrupted statistics (safe to call twice)."""
+        if self._injector is not None and self._catalog is not None:
+            self._injector.restore_statistics(self._catalog)
+
+    # ------------------------------------------------------------- deadlines
+
+    def deadline_for_attempt(self, meter) -> Optional[float]:
+        """Absolute work-unit deadline for the next attempt, or None."""
+        if self.policy.deadline_units is None:
+            return None
+        return meter.snapshot() + self.policy.deadline_units
+
+    # ---------------------------------------------------------------- breaker
+
+    def on_reoptimize(self, join_order: str, attempt: int) -> bool:
+        """Record one re-optimization; returns True if the breaker trips.
+
+        Thrash shows up as the optimizer re-choosing the same join order
+        over and over, or as an unbounded attempt count; both indicate the
+        feedback loop is not converging and POP should stand down.
+        """
+        count = self._join_order_counts.get(join_order, 0) + 1
+        self._join_order_counts[join_order] = count
+        if count >= self.policy.breaker_same_plan_limit:
+            self._trip(f"join order {join_order!r} re-chosen {count} times")
+            return True
+        if attempt + 1 >= self.policy.breaker_attempt_limit:
+            self._trip(f"attempt count reached {attempt + 1}")
+            return True
+        return False
+
+    def _trip(self, why: str) -> None:
+        self.breaker_tripped = True
+        if self.tracer is not None:
+            self.tracer.event("guard.breaker_trip", reason=why)
+        if self.metrics is not None:
+            self.metrics.inc("resilience.breaker_trips")
+
+    # ---------------------------------------------------------------- failure
+
+    def on_failure(self, exc: BaseException) -> str:
+        """Classify ``exc`` and decide: RETRY, FALLBACK, or RAISE.
+
+        A RETRY decision has already charged its backoff to the meter by
+        the time this returns, so retry cost is visible in the work-unit
+        accounting (category ``"backoff"``).
+        """
+        cls = failure_class(exc)
+        if cls == TIMEOUT:
+            if self.metrics is not None:
+                self.metrics.inc("resilience.timeouts")
+            return self._fallback_or_raise(f"deadline exceeded: {exc}")
+        if cls in _RETRYABLE:
+            if self.retries < self.policy.max_retries:
+                backoff = self.policy.backoff_units(self.retries)
+                self.retries += 1
+                self.backoff_units_charged += backoff
+                if self.meter is not None:
+                    self.meter.charge(backoff, "backoff")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "guard.retry",
+                        retry=self.retries,
+                        failure_class=cls,
+                        backoff_units=backoff,
+                        error=str(exc),
+                    )
+                if self.metrics is not None:
+                    self.metrics.inc("resilience.retries", failure_class=cls)
+                return RETRY
+            return self._fallback_or_raise(
+                f"retries exhausted after {self.retries}: {exc}"
+            )
+        # user / fatal: not the guard's problem.
+        return RAISE
+
+    def _fallback_or_raise(self, why: str) -> str:
+        if not self.policy.fallback_enabled:
+            return RAISE
+        self.request_fallback(why)
+        return FALLBACK
+
+    def request_fallback(self, why: str) -> None:
+        """Record that the statement is falling back to the safe plan."""
+        self.fallback_reason = why
+        if self._injector is not None:
+            # The fallback must be guaranteed to complete: no more faults.
+            self._injector.disarm()
+        if self.tracer is not None:
+            self.tracer.event("guard.fallback", reason=why)
+        if self.metrics is not None:
+            self.metrics.inc("resilience.fallbacks")

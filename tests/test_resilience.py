@@ -1,0 +1,605 @@
+"""Fault injection, execution guards, retry/backoff, and safe-plan fallback.
+
+Covers:
+
+* the error taxonomy and ``failure_class`` classification;
+* seeded fault-plan determinism (same seed -> identical schedule, identical
+  retry/fallback sequence, identical rows);
+* retry correctness against the reference oracle, with backoff charged to
+  the work meter;
+* the circuit breaker (unit-level and through the driver) and the
+  safe-plan fallback's correctness;
+* deadline timeouts, memory-grant exhaustion, and statistics corruption
+  (applied for the statement, restored afterwards);
+* exception safety: every operator is closed (and closable twice) on
+  error paths;
+* the CLI's classified one-line errors and ``\\chaos`` mode;
+* the ``close-guarded`` and ``fault-isolation`` contract rules.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import Database, PopConfig
+from repro.analysis.contract import check_module
+from repro.cli import Shell
+from repro.common.errors import (
+    FATAL,
+    RESOURCE,
+    TIMEOUT,
+    TRANSIENT,
+    USER,
+    ExecutionError,
+    ExecutionTimeout,
+    ParseError,
+    ReproError,
+    ResourceExhausted,
+    TransientError,
+    failure_class,
+    is_retryable,
+)
+from repro.core.config import ResiliencePolicy
+from repro.executor.meter import WorkMeter
+from repro.obs import MetricsRegistry, Tracer
+from repro.resilience import (
+    FALLBACK,
+    RAISE,
+    RETRY,
+    ExecutionGuard,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.chaos import canonical_rows, query_seed, run_query_under_chaos
+from tests.conftest import canonical
+from tests.reference import evaluate_reference
+
+JOIN_SQL = (
+    "SELECT c.c_id, o.o_total FROM cust c, orders o "
+    "WHERE c.c_id = o.o_custkey AND c.c_segment = 'MID'"
+)
+
+SORT_SQL = (
+    "SELECT c.c_id, o.o_total FROM cust c, orders o "
+    "WHERE c.c_id = o.o_custkey AND c.c_segment = 'COMMON' "
+    "ORDER BY o.o_total DESC"
+)
+
+
+def guarded(**kwargs) -> PopConfig:
+    return PopConfig(resilience=ResiliencePolicy(**kwargs))
+
+
+def oracle_rows(db: Database, sql: str):
+    return canonical(evaluate_reference(db.catalog, db._to_query(sql), {}))
+
+
+# ---------------------------------------------------------------- taxonomy
+
+
+class TestErrorTaxonomy:
+    def test_failure_classes(self):
+        assert failure_class(TransientError("x")) == TRANSIENT
+        assert failure_class(ResourceExhausted("x")) == RESOURCE
+        assert failure_class(ExecutionTimeout("x")) == TIMEOUT
+        assert failure_class(ParseError("x")) == USER
+        assert failure_class(ExecutionError("x")) == FATAL
+        assert failure_class(ValueError("x")) == FATAL
+
+    def test_hierarchy(self):
+        # ResourceExhausted is retryable-transient; timeouts are not.
+        assert is_retryable(ResourceExhausted("x"))
+        assert is_retryable(TransientError("x"))
+        assert not is_retryable(ExecutionTimeout("x"))
+        assert isinstance(ResourceExhausted("x"), TransientError)
+        assert isinstance(ExecutionTimeout("x"), ReproError)
+
+
+# ------------------------------------------------------------- fault plans
+
+
+class TestFaultPlans:
+    def test_seeded_plan_is_deterministic(self):
+        a = FaultPlan.seeded(99, n_faults=6, tables=("t1", "t2"))
+        b = FaultPlan.seeded(99, n_faults=6, tables=("t1", "t2"))
+        assert a.specs == b.specs
+        assert FaultPlan.seeded(100, n_faults=6, tables=("t1",)).specs != a.specs
+
+    def test_query_seed_is_stable(self):
+        # crc32-derived, so stable across processes (unlike hash()).
+        assert query_seed(1, "tpch", "Q1") == query_seed(1, "tpch", "Q1")
+        assert query_seed(1, "tpch", "Q1") != query_seed(2, "tpch", "Q1")
+
+    def test_stats_fault_requires_table(self):
+        with pytest.raises(ValueError):
+            FaultSpec("stats", payload=2.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("segfault", trigger_at=1)
+
+
+# ------------------------------------------------------------ guard (unit)
+
+
+class TestExecutionGuard:
+    def test_backoff_schedule_is_capped_exponential(self):
+        policy = ResiliencePolicy(
+            backoff_base_units=50.0, backoff_factor=2.0, backoff_cap_units=150.0
+        )
+        assert [policy.backoff_units(i) for i in range(4)] == [
+            50.0, 100.0, 150.0, 150.0,
+        ]
+
+    def test_retry_then_fallback_then_exhausted(self):
+        meter = WorkMeter(track_categories=True)
+        guard = ExecutionGuard(ResiliencePolicy(max_retries=2), meter=meter)
+        assert guard.on_failure(TransientError("a")) == RETRY
+        assert guard.on_failure(ResourceExhausted("b")) == RETRY
+        assert guard.on_failure(TransientError("c")) == FALLBACK
+        assert guard.retries == 2
+        assert meter.by_category()["backoff"] == pytest.approx(
+            guard.backoff_units_charged
+        )
+
+    def test_fatal_and_user_errors_raise(self):
+        guard = ExecutionGuard(ResiliencePolicy())
+        assert guard.on_failure(ExecutionError("boom")) == RAISE
+        assert guard.on_failure(ParseError("bad sql")) == RAISE
+        assert guard.retries == 0
+
+    def test_timeout_goes_straight_to_fallback(self):
+        guard = ExecutionGuard(ResiliencePolicy())
+        assert guard.on_failure(ExecutionTimeout("late")) == FALLBACK
+        assert "deadline" in guard.fallback_reason
+
+    def test_fallback_disabled_raises_instead(self):
+        guard = ExecutionGuard(
+            ResiliencePolicy(max_retries=0, fallback_enabled=False)
+        )
+        assert guard.on_failure(TransientError("a")) == RAISE
+
+    def test_breaker_same_plan(self):
+        guard = ExecutionGuard(ResiliencePolicy(breaker_same_plan_limit=3))
+        assert not guard.on_reoptimize("a-b-c", 1)
+        assert not guard.on_reoptimize("a-b-c", 2)
+        assert guard.on_reoptimize("a-b-c", 3)
+        assert guard.breaker_tripped
+
+    def test_breaker_attempt_limit(self):
+        guard = ExecutionGuard(ResiliencePolicy(breaker_attempt_limit=4))
+        assert not guard.on_reoptimize("a", 1)
+        assert not guard.on_reoptimize("b", 2)
+        assert guard.on_reoptimize("c", 3)  # attempt+1 == limit
+
+
+# ----------------------------------------------------- retry through driver
+
+
+class TestRetry:
+    def test_transient_fault_retried_and_correct(self, star_db):
+        oracle = oracle_rows(star_db, JOIN_SQL)
+        meter = WorkMeter(track_categories=True)
+        plan = FaultPlan(specs=[FaultSpec("iterator", trigger_at=4)])
+        result = star_db.execute(
+            JOIN_SQL, pop=guarded(), meter=meter, faults=plan
+        )
+        assert canonical(result.rows) == oracle
+        assert result.report.retries == 1
+        assert not result.report.fallback_used
+        assert result.report.faults_injected == 1
+        failed = result.report.attempts[0]
+        assert failed.failure_class == TRANSIENT
+        assert "injected transient" in failed.failure
+
+    def test_backoff_charged_to_meter(self, star_db):
+        policy = ResiliencePolicy(backoff_base_units=123.0)
+        meter = WorkMeter(track_categories=True)
+        plan = FaultPlan(specs=[FaultSpec("iterator", trigger_at=4)])
+        result = star_db.execute(
+            JOIN_SQL,
+            pop=PopConfig(resilience=policy),
+            meter=meter,
+            faults=plan,
+        )
+        assert result.report.retries == 1
+        assert meter.by_category()["backoff"] == pytest.approx(123.0)
+        assert result.report.backoff_units == pytest.approx(123.0)
+
+    def test_retries_do_not_consume_reopt_budget(self, star_db):
+        # A retry re-optimizes but must not burn a CHECK's re-planning
+        # round: with reopt_limit untouched, a fault on attempt 0 still
+        # leaves the full budget for genuine checkpoint triggers.
+        plan = FaultPlan(specs=[FaultSpec("iterator", trigger_at=2)])
+        result = star_db.execute(JOIN_SQL, pop=guarded(), faults=plan)
+        checkpointed = [
+            a for a in result.report.attempts if a.checkpoints_placed
+        ]
+        assert checkpointed, "retry attempt should still place checkpoints"
+
+    def test_mem_shrink_resource_exhaustion_retried(self, star_db):
+        oracle = oracle_rows(star_db, SORT_SQL)
+        plan = FaultPlan(
+            specs=[FaultSpec("mem_shrink", trigger_at=2, payload=0.0001)]
+        )
+        result = star_db.execute(SORT_SQL, pop=guarded(), faults=plan)
+        assert canonical(result.rows) == oracle
+        assert result.report.retries >= 1
+        assert result.report.attempts[0].failure_class == RESOURCE
+
+    def test_seeded_fault_runs_are_identical(self, star_db):
+        outcomes = []
+        for _ in range(2):
+            plan = FaultPlan.seeded(
+                7,
+                n_faults=4,
+                kinds=("iterator", "stall", "mem_shrink"),
+            )
+            meter = WorkMeter(track_categories=True)
+            result = star_db.execute(
+                SORT_SQL, pop=guarded(), meter=meter, faults=plan
+            )
+            outcomes.append(
+                (
+                    canonical(result.rows),
+                    result.report.retries,
+                    result.report.fallback_used,
+                    result.report.faults_injected,
+                    [a.failure_class for a in result.report.attempts],
+                    meter.snapshot(),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][0] == oracle_rows(star_db, SORT_SQL)
+
+
+# ----------------------------------------------------------------- fallback
+
+
+class TestFallback:
+    def test_persistent_fault_falls_back_correctly(self, star_db):
+        oracle = oracle_rows(star_db, JOIN_SQL)
+        plan = FaultPlan(
+            specs=[FaultSpec("iterator", trigger_at=3, times=1000)]
+        )
+        result = star_db.execute(
+            JOIN_SQL, pop=guarded(max_retries=2), faults=plan
+        )
+        assert canonical(result.rows) == oracle
+        assert result.report.retries == 2
+        assert result.report.fallback_used
+        assert "retries exhausted" in result.report.fallback_reason
+        final = result.report.attempts[-1]
+        assert final.fallback
+        assert final.checkpoints_placed == 0
+        assert final.failure is None
+
+    def test_fallback_disabled_raises(self, star_db):
+        plan = FaultPlan(
+            specs=[FaultSpec("iterator", trigger_at=3, times=1000)]
+        )
+        with pytest.raises(TransientError):
+            star_db.execute(
+                JOIN_SQL,
+                pop=guarded(max_retries=1, fallback_enabled=False),
+                faults=plan,
+            )
+
+    def test_fallback_avoids_nested_loop_joins(self, star_db):
+        plan = FaultPlan(
+            specs=[FaultSpec("iterator", trigger_at=3, times=1000)]
+        )
+        result = star_db.execute(
+            JOIN_SQL, pop=guarded(max_retries=0), faults=plan
+        )
+        assert result.report.fallback_used
+        assert "NLJOIN" not in result.report.attempts[-1].plan_text
+
+    def test_fallback_restores_optimizer_options(self, star_db):
+        before = star_db.optimizer.options.enable_index_nljn
+        plan = FaultPlan(
+            specs=[FaultSpec("iterator", trigger_at=3, times=1000)]
+        )
+        star_db.execute(JOIN_SQL, pop=guarded(max_retries=0), faults=plan)
+        assert star_db.optimizer.options.enable_index_nljn == before
+
+    def test_deadline_timeout_falls_back(self, star_db):
+        oracle = oracle_rows(star_db, JOIN_SQL)
+        result = star_db.execute(
+            JOIN_SQL, pop=guarded(deadline_units=1.0), faults=FaultPlan()
+        )
+        assert canonical(result.rows) == oracle
+        assert result.report.fallback_used
+        assert "deadline" in result.report.fallback_reason
+        assert result.report.attempts[0].failure_class == TIMEOUT
+
+    def test_breaker_trips_through_driver(self, star_db):
+        # Force a re-optimization on attempt 0, with a breaker that trips
+        # on the very first re-planning round.
+        probe = star_db.execute(JOIN_SQL, pop=PopConfig())
+        checks = [
+            e.op_id for a in probe.report.attempts for e in a.checkpoint_events
+        ]
+        if not checks:
+            pytest.skip("no checkpoints placed for this plan")
+        config = PopConfig(
+            force_trigger_op_ids=frozenset({checks[0]}),
+            resilience=ResiliencePolicy(breaker_same_plan_limit=1),
+        )
+        result = star_db.execute(JOIN_SQL, pop=config, faults=FaultPlan())
+        assert result.report.breaker_tripped
+        assert result.report.fallback_used
+        assert canonical(result.rows) == oracle_rows(star_db, JOIN_SQL)
+
+
+# -------------------------------------------------------------- stats faults
+
+
+class TestStatsFaults:
+    def test_stats_corrupted_for_statement_then_restored(self, star_db):
+        before = star_db.catalog.statistics("orders").row_count
+        plan = FaultPlan(
+            specs=[FaultSpec("stats", payload=100.0, target_table="orders")]
+        )
+        result = star_db.execute(JOIN_SQL, pop=guarded(), faults=plan)
+        assert canonical(result.rows) == oracle_rows(star_db, JOIN_SQL)
+        assert result.report.faults_injected == 1
+        assert star_db.catalog.statistics("orders").row_count == before
+
+    def test_stats_drop_restored_even_on_user_error(self, star_db):
+        plan = FaultPlan(
+            specs=[FaultSpec("stats", payload=0.0, target_table="orders")]
+        )
+        with pytest.raises(ReproError):
+            star_db.execute(
+                "SELECT c.nope FROM cust c", pop=guarded(), faults=plan
+            )
+        assert star_db.catalog.statistics("orders") is not None
+
+
+# --------------------------------------------------------- exception safety
+
+
+class TestExceptionSafety:
+    def test_operators_closed_on_fault(self, star_db):
+        tracer = Tracer()
+        plan = FaultPlan(
+            specs=[FaultSpec("iterator", trigger_at=3, times=1000)]
+        )
+        result = star_db.execute(
+            JOIN_SQL, pop=guarded(), faults=plan, tracer=tracer
+        )
+        assert result.report.fallback_used
+        # Every operator span must have ended despite the mid-plan crashes.
+        op_spans = [
+            r for r in tracer.records
+            if r["type"] == "span" and r["name"].startswith("op.")
+        ]
+        assert op_spans
+        assert all(r["t1"] is not None for r in op_spans)
+
+    def test_close_is_idempotent_on_every_operator(self, star_db):
+        from repro.executor.base import ExecutionContext
+        from repro.executor.runtime import run_plan
+
+        opt = star_db.optimizer.optimize(star_db._to_query(SORT_SQL))
+        ctx = ExecutionContext(star_db.catalog)
+        run_plan(opt.plan, ctx)
+        for op in ctx.operators:
+            op.close()
+            op.close()  # second close must be a no-op, not an error
+
+    def test_close_before_open_is_safe(self, star_db):
+        from repro.executor.base import ExecutionContext
+        from repro.executor.runtime import build_executor
+
+        opt = star_db.optimizer.optimize(star_db._to_query(SORT_SQL))
+        ctx = ExecutionContext(star_db.catalog)
+        build_executor(opt.plan, ctx)
+        for op in ctx.operators:
+            op.close()  # never opened: still must not raise
+
+
+# ------------------------------------------------------------------ chaos
+
+
+class TestChaosHarness:
+    def test_canonical_rows_tolerates_float_noise(self):
+        a = [(1, 201770999.87999946), (2, 0.04988384371700163)]
+        b = [(2, 0.04988384371700152), (1, 201770999.88000032)]
+        assert canonical_rows(a) == canonical_rows(b)
+        assert canonical_rows([(1, 1.0)]) != canonical_rows([(1, 2.0)])
+
+    def test_one_query_under_chaos(self, star_db):
+        oracle = canonical_rows(star_db.execute(JOIN_SQL).rows)
+        outcome = run_query_under_chaos(
+            star_db, "unit", "join", JOIN_SQL, chaos_seed=5, oracle=oracle
+        )
+        assert outcome.ok, outcome.problems
+        assert outcome.faults_injected >= 1
+
+    def test_chaos_detects_divergence(self, star_db):
+        outcome = run_query_under_chaos(
+            star_db, "unit", "join", JOIN_SQL, chaos_seed=5,
+            oracle=[("wrong",)],
+        )
+        assert not outcome.ok
+        assert any("diverge" in p for p in outcome.problems)
+
+
+# --------------------------------------------------------------------- CLI
+
+
+class TestCliResilience:
+    def _shell(self, star_db):
+        out = io.StringIO()
+        return Shell(db=star_db, out=out), out
+
+    def test_classified_user_error(self, star_db):
+        shell, out = self._shell(star_db)
+        shell.run(["SELECT c.nope FROM cust c;"])
+        assert "error[user]:" in out.getvalue()
+
+    def test_chaos_meta_command(self, star_db):
+        shell, out = self._shell(star_db)
+        shell.run(["\\chaos 42"])
+        assert "chaos on (seed 42)" in out.getvalue()
+        shell.run([JOIN_SQL + ";"])
+        shell.run(["\\chaos off"])
+        text = out.getvalue()
+        assert "chaos off" in text
+        assert "error" not in text.split("chaos on (seed 42)")[1].split("chaos off")[0]
+
+    def test_chaos_meta_usage(self, star_db):
+        shell, out = self._shell(star_db)
+        shell.run(["\\chaos nonsense"])
+        assert "usage" in out.getvalue()
+
+
+# --------------------------------------------------------- contract rules
+
+
+OPERATOR_STUB = """
+class Operator:
+    def __init__(self):
+        self.rows_out = 0
+    def open(self):
+        pass
+    def close(self):
+        pass
+    def next(self):
+        raise NotImplementedError
+"""
+
+
+class TestCloseGuardedRule:
+    def test_open_assigned_attribute_flagged(self):
+        findings = check_module(
+            OPERATOR_STUB
+            + """
+class Leaky(Operator):
+    def __init__(self):
+        super().__init__()
+    def open(self):
+        super().open()
+        self._table = {}
+    def close(self):
+        super().close()
+        self._table.clear()
+    def next(self):
+        return None
+"""
+        )
+        rules = [f.rule for f in findings]
+        assert "close-guarded" in rules
+
+    def test_init_assigned_attribute_clean(self):
+        findings = check_module(
+            OPERATOR_STUB
+            + """
+class Tidy(Operator):
+    def __init__(self):
+        super().__init__()
+        self._table = {}
+    def close(self):
+        super().close()
+        self._table = {}
+        if self._table:
+            pass
+    def next(self):
+        return None
+"""
+        )
+        assert [f.rule for f in findings] == []
+
+    def test_method_calls_in_close_allowed(self):
+        findings = check_module(
+            OPERATOR_STUB
+            + """
+class Spanner(Operator):
+    def __init__(self):
+        super().__init__()
+    def end_span(self):
+        pass
+    def close(self):
+        super().close()
+        self.end_span()
+    def next(self):
+        return None
+"""
+        )
+        assert [f.rule for f in findings] == []
+
+
+class TestFaultIsolationRule:
+    def test_submodule_import_flagged(self):
+        findings = check_module(
+            "from repro.resilience.faults import FaultInjector\n"
+        )
+        assert [f.rule for f in findings] == ["fault-isolation"]
+
+    def test_package_import_allowed(self):
+        assert check_module("from repro.resilience import FaultPlan\n") == []
+
+    def test_attribute_reference_flagged(self):
+        findings = check_module("def f(ctx):\n    return ctx.fault_injector\n")
+        assert [f.rule for f in findings] == ["fault-isolation"]
+
+    def test_live_package_is_clean(self):
+        from repro.analysis.contract import run_contract_checks
+
+        assert [
+            f for f in run_contract_checks()
+            if f.rule in ("fault-isolation", "close-guarded")
+        ] == []
+
+
+# ------------------------------------------------------------ observability
+
+
+class TestObservability:
+    def test_every_fault_visible_in_trace_and_metrics(self, star_db):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        plan = FaultPlan(
+            specs=[
+                FaultSpec("iterator", trigger_at=4),
+                FaultSpec("stall", trigger_at=10, payload=500.0),
+                FaultSpec("stats", payload=50.0, target_table="orders"),
+            ]
+        )
+        result = star_db.execute(
+            JOIN_SQL, pop=guarded(), faults=plan,
+            tracer=tracer, metrics=metrics,
+        )
+        assert result.report.faults_injected == 3
+        assert len(tracer.events("fault.injected")) == 3
+        assert metrics.total("resilience.faults_injected") == 3
+        assert len(tracer.events("guard.retry")) == result.report.retries
+        assert metrics.total("resilience.retries") == result.report.retries
+
+    def test_fallback_events(self, star_db):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        plan = FaultPlan(
+            specs=[FaultSpec("iterator", trigger_at=3, times=1000)]
+        )
+        star_db.execute(
+            JOIN_SQL, pop=guarded(max_retries=1), faults=plan,
+            tracer=tracer, metrics=metrics,
+        )
+        assert len(tracer.events("guard.fallback")) == 1
+        assert metrics.total("resilience.fallbacks") == 1
+
+    def test_stall_fault_charges_meter(self, star_db):
+        meter = WorkMeter(track_categories=True)
+        plan = FaultPlan(
+            specs=[FaultSpec("stall", trigger_at=5, payload=777.0)]
+        )
+        result = star_db.execute(
+            JOIN_SQL, pop=guarded(), meter=meter, faults=plan
+        )
+        assert result.report.faults_injected == 1
+        assert meter.by_category()["fault.stall"] == pytest.approx(777.0)
