@@ -13,9 +13,12 @@ breaks the reproduction rather than crashing it:
   would make runs non-reproducible, which the experiment harness depends
   on.
 * **float-eq** — no ``==`` / ``!=`` on numbers inside
-  ``optimizer/costmodel.py``: validity-range analysis evaluates the cost
-  functions at perturbed, non-integral cardinalities, where exact float
-  equality is a latent discontinuity.
+  ``optimizer/costmodel.py`` or ``repro/cache/``: validity-range analysis
+  evaluates the cost functions at perturbed, non-integral cardinalities,
+  and the plan cache's admission test compares derived estimates against
+  range bounds — exact float equality is a latent discontinuity in both.
+  Computed string comparisons (fingerprint digests) are waived with a
+  ``# float-eq: str`` annotation.
 * **bare-except** — no ``except:``: it would swallow
   :class:`~repro.executor.base.ReoptimizationSignal`, which must always
   propagate to the POP driver.
@@ -80,10 +83,12 @@ def check_source_tree(root: str) -> list[Finding]:
     """Run every contract rule over the package rooted at ``root``."""
     findings: list[Finding] = []
     trees: dict[str, ast.Module] = {}
+    sources: dict[str, str] = {}
     for path in iter_source_files(root):
         rel = _relpath(path, root)
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
+        sources[rel] = source
         try:
             trees[rel] = ast.parse(source, filename=rel)
         except SyntaxError as exc:
@@ -100,8 +105,10 @@ def check_source_tree(root: str) -> list[Finding]:
         findings.extend(check_determinism(tree, rel))
         findings.extend(check_bare_except(tree, rel))
         findings.extend(check_fault_isolation(tree, rel))
-        if rel.endswith("optimizer/costmodel.py"):
-            findings.extend(check_float_eq(tree, rel))
+        if rel.endswith("optimizer/costmodel.py") or "cache/" in rel:
+            # Cost arithmetic and the plan cache's admission test both
+            # compare derived floats; == on them is always a bug.
+            findings.extend(check_float_eq(tree, rel, source=sources.get(rel)))
     findings.extend(check_iterator_contract(trees))
     findings.extend(check_close_guarded(trees))
     return findings
@@ -114,7 +121,7 @@ def check_module(source: str, filename: str = "<snippet>") -> list[Finding]:
     findings = list(check_determinism(tree, filename))
     findings.extend(check_bare_except(tree, filename))
     findings.extend(check_fault_isolation(tree, filename))
-    findings.extend(check_float_eq(tree, filename))
+    findings.extend(check_float_eq(tree, filename, source=source))
     findings.extend(check_iterator_contract({filename: tree}))
     findings.extend(check_close_guarded({filename: tree}))
     return findings
@@ -203,16 +210,27 @@ def _is_string_const(node: ast.expr) -> bool:
     return isinstance(node, ast.Constant) and isinstance(node.value, str)
 
 
-def check_float_eq(tree: ast.Module, rel: str) -> Iterator[Finding]:
-    """No numeric ``==``/``!=`` in the cost model.
+def check_float_eq(
+    tree: ast.Module, rel: str, source: Optional[str] = None
+) -> Iterator[Finding]:
+    """No numeric ``==``/``!=`` in the cost model or the plan cache.
 
     Cost functions are evaluated at perturbed float cardinalities by the
     Newton–Raphson probe; exact equality tests silently stop matching there
     (``card == 0`` vs a probe point of ``1e-6``).  String comparisons are
-    exempt.
+    exempt: literal operands are detected automatically, and a computed
+    string comparison (e.g. two hex digests) is waived by annotating the
+    line with ``# float-eq: str``.
     """
+    exempt_lines: set[int] = set()
+    if source is not None:
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "# float-eq: str" in line:
+                exempt_lines.add(lineno)
     for node in ast.walk(tree):
         if not isinstance(node, ast.Compare):
+            continue
+        if node.lineno in exempt_lines:
             continue
         operands = [node.left, *node.comparators]
         for op, left, right in zip(node.ops, operands, operands[1:]):

@@ -60,6 +60,9 @@ class LintContext:
     feedback: Optional[object] = None
     #: Which attempt produced this plan (0 = initial optimization).
     attempt: int = 0
+    #: Fingerprint recorded when this plan was admitted from the plan cache
+    #: (:mod:`repro.cache`); enables the ``cache-plan-immutable`` rule.
+    cached_fingerprint: Optional[str] = None
 
 
 #: A rule callable: (root, parents, ctx) -> iterable of findings.

@@ -619,6 +619,35 @@ def rule_feedback_consistency(
             )
 
 
+# ------------------------------------------------------- cache immutability
+
+
+@plan_rule("cache-plan-immutable", paper_ref="§3/§6 (plan reuse)")
+def rule_cache_plan_immutable(
+    root: PlanOp, parents: dict, ctx: LintContext
+) -> Iterator[Finding]:
+    """Cached plans are re-executed verbatim, never mutated in place.
+
+    When the driver admits a plan from the plan cache it records the
+    entry's fingerprint in the lint context; the plan about to execute must
+    still hash to it.  A mismatch means something rewrote a shared cached
+    structure (checkpoint placement, compensation wrapping, ...) — which
+    would corrupt every later reuse of the entry.
+    """
+    if ctx.cached_fingerprint is None:
+        return
+    from repro.optimizer.fingerprint import plan_fingerprint
+
+    actual = plan_fingerprint(root)
+    if actual != ctx.cached_fingerprint:
+        yield _finding(
+            "cache-plan-immutable", ERROR, root,
+            "plan admitted from the plan cache no longer matches its "
+            "cached fingerprint — a cached plan was mutated in place",
+            expected=ctx.cached_fingerprint, actual=actual,
+        )
+
+
 def rule_catalog() -> list[tuple[str, str, str]]:
     """(rule id, paper reference, one-line doc) for docs and --list-rules."""
     from repro.analysis.plan_lint import PLAN_RULES

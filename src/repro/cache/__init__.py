@@ -1,0 +1,22 @@
+"""Validity-range-aware plan cache (paper §3 + §6 applied to repeated traffic).
+
+See :mod:`repro.cache.plan_cache` for the design.
+"""
+
+from repro.cache.plan_cache import (
+    CachedPlan,
+    CacheStats,
+    LookupResult,
+    PlanCache,
+    PlanCacheConfig,
+    cache_usable,
+)
+
+__all__ = [
+    "CachedPlan",
+    "CacheStats",
+    "LookupResult",
+    "PlanCache",
+    "PlanCacheConfig",
+    "cache_usable",
+]

@@ -37,6 +37,9 @@ meta commands:
   \\pop on|off               enable/disable progressive optimization
   \\pop flavors F1,F2        set checkpoint flavors (LC,LCEM,ECB,ECWC,ECDC)
   \\learning on|off          cross-statement cardinality learning
+  \\cache on|off|clear|stats validity-range-aware plan cache: show cached
+                            statement shapes and hit/miss/invalidation
+                            counters, enable/disable, or drop all entries
   \\save DIR                 persist the database to a directory
   \\open DIR                 load a database saved with \\save
   \\set NAME VALUE           bind a parameter for ? / :name markers
@@ -281,6 +284,49 @@ class Shell:
         else:
             state = "on" if self.db.learning is not None else "off"
             self.write(f"learning is {state}")
+
+    def _meta_cache(self, args) -> None:
+        if args and args[0] == "on":
+            self.db.enable_plan_cache()
+            self.write("plan cache on")
+            return
+        if args and args[0] == "off":
+            self.db.disable_plan_cache()
+            self.write("plan cache off")
+            return
+        cache = self.db.plan_cache
+        if cache is None:
+            self.write("plan cache is off (\\cache on to enable)")
+            return
+        if args and args[0] == "clear":
+            dropped = cache.clear()
+            self.write(f"plan cache cleared ({dropped} plan(s) dropped)")
+            return
+        if args and args[0] != "stats":
+            self.write("usage: \\cache [on|off|clear|stats]")
+            return
+        stats = cache.stats
+        self.write(
+            f"plan cache: {len(cache)} plan(s) across "
+            f"{len(cache.shapes())} shape(s)"
+        )
+        self.write(
+            f"  hits={stats.hits} misses={stats.misses} "
+            f"installs={stats.installs} evictions={stats.evictions}"
+        )
+        self.write(
+            f"  invalidations={stats.invalidations} "
+            f"admission_rejects={stats.admission_rejects} "
+            f"mutation_discards={stats.mutation_discards}"
+        )
+        for entry in cache.entries():
+            shape = entry.shape
+            if len(shape) > 60:
+                shape = shape[:57] + "..."
+            self.write(
+                f"  [{entry.fingerprint[:12]}] hits={entry.hits} "
+                f"checks={entry.checkpoints} {shape}"
+            )
 
     def _meta_save(self, args) -> None:
         if not args:

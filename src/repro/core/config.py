@@ -86,6 +86,11 @@ class PopConfig:
     force_trigger_op_ids: frozenset = frozenset()
     #: Propagate cardinality feedback between attempts (ablation switch).
     use_feedback: bool = True
+    #: Allow the validity-range-aware plan cache (:mod:`repro.cache`) to
+    #: serve this statement, when the database has one enabled.  Ablation
+    #: modes that change plan semantics disable caching regardless (see
+    #: :func:`repro.cache.cache_usable`).
+    plan_cache: bool = True
     #: §7 extension — trigger re-optimization when cumulative work exceeds
     #: this budget (in work units), not just on cardinality violations.
     #: The budget escalates per attempt to guarantee progress.

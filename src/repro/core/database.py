@@ -23,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
+from repro.cache import cache_usable
 from repro.core.config import NO_POP, PopConfig
 from repro.core.driver import PopDriver, PopReport
+from repro.sql.parameterize import parameterize_sql
 from repro.core.learning import LearnedCardinalities
 from repro.executor.meter import WorkMeter
 from repro.optimizer.costmodel import DEFAULT_COST_PARAMS, CostParams
@@ -73,6 +75,9 @@ class Database:
         #: §7 "Learning for the Future": when enabled, exact cardinalities
         #: observed at runtime correct the estimates of *future* statements.
         self.learning: Optional[LearnedCardinalities] = None
+        #: Validity-range-aware plan cache (:mod:`repro.cache`); off until
+        #: :meth:`enable_plan_cache`.
+        self.plan_cache = None
 
     def enable_learning(self) -> "LearnedCardinalities":
         """Turn on cross-statement cardinality learning (LEO-style)."""
@@ -83,6 +88,38 @@ class Database:
     def disable_learning(self) -> None:
         self.learning = None
 
+    def enable_plan_cache(
+        self, capacity: int = 64, variants_per_shape: int = 4
+    ):
+        """Turn on the validity-range-aware plan cache for SQL statements.
+
+        Statements are normalized (literals lifted to parameters) and keyed
+        on shape; a cached plan is reused only when its validity ranges
+        contain fresh cardinality estimates for the new parameter values,
+        in which case optimization is skipped entirely.
+        """
+        from repro.cache import PlanCache, PlanCacheConfig
+
+        if self.plan_cache is None:
+            self.plan_cache = PlanCache(
+                PlanCacheConfig(
+                    capacity=capacity, variants_per_shape=variants_per_shape
+                )
+            )
+        return self.plan_cache
+
+    def disable_plan_cache(self) -> None:
+        self.plan_cache = None
+
+    def _invalidate_cached_plans(self, tables=None) -> None:
+        """Drop cached plans affected by a data/statistics/DDL change."""
+        if self.plan_cache is None:
+            return
+        if tables is None:
+            self.plan_cache.clear()
+        else:
+            self.plan_cache.invalidate_tables(tables)
+
     # ------------------------------------------------------------------ DDL
 
     def create_table(self, name: str, columns: Sequence[tuple[str, str]]):
@@ -90,16 +127,20 @@ class Database:
         return self.catalog.create_table(name, Schema.of(*columns))
 
     def create_index(self, name: str, table: str, column: str, kind: str = "sorted"):
-        return self.catalog.create_index(name, table, column, kind)
+        index = self.catalog.create_index(name, table, column, kind)
+        self._invalidate_cached_plans([table])
+        return index
 
     def insert(self, table: str, rows) -> None:
         self.catalog.table(table).insert_many(rows)
         self.catalog.rebuild_indexes(table)
+        self._invalidate_cached_plans([table])
 
     def load_raw(self, table: str, rows: list) -> None:
         """Bulk load pre-coerced tuples and rebuild indexes."""
         self.catalog.table(table).load_raw(rows)
         self.catalog.rebuild_indexes(table)
+        self._invalidate_cached_plans([table])
 
     def runstats(
         self,
@@ -111,6 +152,7 @@ class Database:
         collect_runstats(
             self.catalog, tables, num_buckets=num_buckets, num_mcvs=num_mcvs
         )
+        self._invalidate_cached_plans(tables)
 
     # ---------------------------------------------------------------- queries
 
@@ -139,12 +181,34 @@ class Database:
         :class:`repro.resilience.FaultPlan`) runs the statement under
         fault injection with the execution guard engaged.
         """
-        query = self._to_query(statement)
         config = pop if pop is not None else PopConfig()
+        stmt = None
+        run_params = params
+        if (
+            self.plan_cache is not None
+            and isinstance(statement, str)
+            and cache_usable(config)
+        ):
+            # Normalize: lift literals to markers so repeated statements
+            # differing only in literal values share one cache shape.  The
+            # lifted values join the caller's bind parameters at runtime
+            # (namespaces are disjoint: ``__litN`` vs user markers).
+            stmt = parameterize_sql(statement, self.catalog)
+            query = stmt.query
+            run_params = dict(params or {})
+            run_params.update(stmt.params)
+        else:
+            query = self._to_query(statement)
         driver = PopDriver(self.optimizer, config, tracer=tracer, metrics=metrics)
         feedback = self.learning.seed() if self.learning is not None else None
         rows, report = driver.run(
-            query, params=params, meter=meter, feedback=feedback, faults=faults
+            query,
+            params=run_params,
+            meter=meter,
+            feedback=feedback,
+            faults=faults,
+            plan_cache=self.plan_cache if stmt is not None else None,
+            statement=stmt,
         )
         if self.learning is not None and feedback is not None:
             self.learning.absorb(feedback)

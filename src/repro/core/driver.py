@@ -32,7 +32,9 @@ from repro.executor.base import (
 from repro.executor.meter import WorkMeter
 from repro.executor.runtime import run_plan
 from repro.obs import wall_clock
+from repro.optimizer.fingerprint import plan_fingerprint
 from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.parametric import PeekingSelectivity
 from repro.plan.explain import explain_plan, join_order
 from repro.plan.logical import Query
 from repro.plan.physical import AntiJoin, MVScan, PlanOp, Return, find_ops
@@ -100,6 +102,13 @@ class AttemptReport:
     failure_class: Optional[str] = None
     #: True for the conservative safe plan run after the guard gave up.
     fallback: bool = False
+    #: True when this attempt re-executed a cached plan (optimizer skipped).
+    cache_hit: bool = False
+    #: Fingerprint of the reused cached plan.
+    cache_fingerprint: Optional[str] = None
+    #: The admission test that justified reuse: one dict per evaluated
+    #: validity/CHECK range (all ``inside`` by construction on a hit).
+    cache_admission: Optional[list] = None
 
     @property
     def reoptimized(self) -> bool:
@@ -125,6 +134,11 @@ class PopReport:
     @property
     def reoptimizations(self) -> int:
         return sum(1 for a in self.attempts if a.reoptimized)
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when any attempt re-executed a cached plan."""
+        return any(a.cache_hit for a in self.attempts)
 
     @property
     def final_plan(self) -> PlanOp:
@@ -203,6 +217,8 @@ class PopDriver:
         meter: Optional[WorkMeter] = None,
         feedback: Optional[CardinalityFeedback] = None,
         faults=None,
+        plan_cache=None,
+        statement=None,
     ) -> tuple[list[tuple], PopReport]:
         """Execute ``query`` and return (rows, report).
 
@@ -213,6 +229,15 @@ class PopDriver:
         execution guard: classified failures retry with backoff, and
         exhausted retries / blown deadlines / a tripped re-optimization
         breaker divert to the safe-plan fallback.
+
+        ``plan_cache`` / ``statement`` engage the validity-range-aware plan
+        cache (:mod:`repro.cache`): ``statement`` is the
+        :class:`~repro.sql.parameterize.ParameterizedStatement` whose bound
+        query is ``query``.  The first round probes the cache (admission =
+        cached validity ranges evaluated at fresh estimates for
+        ``statement.params``); on a hit the optimizer is skipped and the
+        cached plan re-executed verbatim; on a miss the statement is
+        optimized with bind-value peeking and the successful plan installed.
         """
         config = self.config
         cost_model = self.optimizer.cost_model
@@ -261,6 +286,8 @@ class PopDriver:
                 guard,
                 injector,
                 stmt_span,
+                plan_cache,
+                statement,
             )
         finally:
             if guard is not None:
@@ -320,6 +347,8 @@ class PopDriver:
         guard,
         injector,
         stmt_span,
+        plan_cache=None,
+        statement=None,
     ) -> list[tuple]:
         """The optimize/execute loop of :meth:`run` (Figure 3), guarded."""
         tracer = self.tracer
@@ -330,6 +359,18 @@ class PopDriver:
         #: so a transient crash never eats a CHECK's re-planning round.
         attempt = 0
         reopt_round = 0
+        #: Bind-value peeking: cached-path statements are optimized at
+        #: their actual parameter values, so plans and validity ranges are
+        #: tailored to them (and the admission test has teeth).
+        peek = None
+        if statement is not None and statement.params:
+            peek = PeekingSelectivity(
+                statement.params, base=self.optimizer.selectivity
+            )
+        #: The cache is probed only on the very first round: later rounds
+        #: exist because runtime knowledge invalidated the plan in hand,
+        #: which a cached plan cannot survive either.
+        probe_cache = plan_cache is not None and statement is not None
         while True:
             attempt_span = (
                 tracer.start_span("pop.attempt", parent=stmt_span, attempt=attempt)
@@ -337,57 +378,90 @@ class PopDriver:
                 else None
             )
             units_before_opt = meter.snapshot()
-            opt_span = (
-                tracer.start_span("optimizer.optimize", parent=attempt_span)
-                if tracer is not None
-                else None
-            )
-            opt = self.optimizer.optimize(
-                query, feedback if config.use_feedback else None
-            )
-            meter.charge(
-                cost_model.reoptimization_cost(opt.plans_enumerated), "optimize"
-            )
-            opt_units = meter.snapshot() - units_before_opt
-            if tracer is not None:
-                tracer.end_span(
-                    opt_span,
-                    plans_enumerated=opt.plans_enumerated,
-                    newton_iterations=opt.newton_iterations,
-                    est_cost=opt.plan.est_cost,
-                )
-            if metrics is not None:
-                metrics.inc("optimizer.invocations")
-                metrics.inc("optimizer.plans_enumerated", opt.plans_enumerated)
-                metrics.inc("optimizer.newton_iterations", opt.newton_iterations)
-
             can_reopt = config.enabled and reopt_round < reopt_limit
-            place_span = (
-                tracer.start_span("pop.place_checkpoints", parent=attempt_span)
-                if tracer is not None
-                else None
-            )
-            if can_reopt:
-                placement = place_checkpoints(
-                    opt.plan,
-                    config,
-                    cost_model,
-                    is_spj=not (query.has_aggregates or query.distinct),
-                    lc_above_hash_build=self.lc_above_hash_build,
-                    tracer=tracer,
-                    metrics=metrics,
+            cached = None
+            if probe_cache:
+                probe_cache = False
+                cached = self._cache_lookup(
+                    plan_cache, statement, query, config, feedback,
+                    meter, cost_model, attempt_span,
                 )
+            if cached is not None:
+                plan = cached.entry.plan
+                checkpoints_placed = cached.entry.checkpoints
+                opt_units = meter.snapshot() - units_before_opt
             else:
-                placement = place_checkpoints(
-                    opt.plan, PopConfig(enabled=False), cost_model
+                opt_span = (
+                    tracer.start_span("optimizer.optimize", parent=attempt_span)
+                    if tracer is not None
+                    else None
                 )
-            if tracer is not None:
-                tracer.end_span(place_span, checkpoints=placement.count)
-            plan = placement.plan
+                attempt_feedback = feedback if config.use_feedback else None
+                if peek is not None:
+                    opt = self.optimizer.optimize(
+                        query, attempt_feedback, selectivity=peek
+                    )
+                else:
+                    opt = self.optimizer.optimize(query, attempt_feedback)
+                meter.charge(
+                    cost_model.reoptimization_cost(opt.plans_enumerated),
+                    "optimize",
+                )
+                opt_units = meter.snapshot() - units_before_opt
+                if tracer is not None:
+                    tracer.end_span(
+                        opt_span,
+                        plans_enumerated=opt.plans_enumerated,
+                        newton_iterations=opt.newton_iterations,
+                        est_cost=opt.plan.est_cost,
+                    )
+                if metrics is not None:
+                    metrics.inc("optimizer.invocations")
+                    metrics.inc(
+                        "optimizer.plans_enumerated", opt.plans_enumerated
+                    )
+                    metrics.inc(
+                        "optimizer.newton_iterations", opt.newton_iterations
+                    )
+
+                place_span = (
+                    tracer.start_span(
+                        "pop.place_checkpoints", parent=attempt_span
+                    )
+                    if tracer is not None
+                    else None
+                )
+                if can_reopt:
+                    placement = place_checkpoints(
+                        opt.plan,
+                        config,
+                        cost_model,
+                        is_spj=not (query.has_aggregates or query.distinct),
+                        lc_above_hash_build=self.lc_above_hash_build,
+                        tracer=tracer,
+                        metrics=metrics,
+                    )
+                else:
+                    placement = place_checkpoints(
+                        opt.plan, PopConfig(enabled=False), cost_model
+                    )
+                if tracer is not None:
+                    tracer.end_span(place_span, checkpoints=placement.count)
+                plan = placement.plan
+                checkpoints_placed = placement.count
             if compensation:
+                # Cached plans are never reached here: compensation is empty
+                # on the first round, the only one that probes the cache.
                 plan = self._wrap_compensation(plan)
             if config.strict_analysis:
-                self._lint_attempt_plan(plan, feedback, attempt)
+                self._lint_attempt_plan(
+                    plan,
+                    feedback,
+                    attempt,
+                    cached_fingerprint=(
+                        cached.entry.fingerprint if cached is not None else None
+                    ),
+                )
 
             budget = None
             if config.work_budget is not None and can_reopt:
@@ -416,7 +490,10 @@ class PopDriver:
             ctx.compensation = compensation
             if tracer is not None:
                 ctx.exec_span_id = tracer.start_span(
-                    "pop.execute", parent=attempt_span, checkpoints=placement.count
+                    "pop.execute",
+                    parent=attempt_span,
+                    checkpoints=checkpoints_placed,
+                    cached=cached is not None,
                 )
             sink: list[tuple] = []
             units_before_exec = meter.snapshot()
@@ -424,10 +501,19 @@ class PopDriver:
                 plan=plan,
                 plan_text=explain_plan(plan),
                 join_order=join_order(plan),
-                checkpoints_placed=placement.count,
+                checkpoints_placed=checkpoints_placed,
                 optimization_units=opt_units,
                 execution_units=0.0,
                 reused_mvs=[op.mv_name for op in find_ops(plan, MVScan)],
+                cache_hit=cached is not None,
+                cache_fingerprint=(
+                    cached.entry.fingerprint if cached is not None else None
+                ),
+                cache_admission=(
+                    [e.to_dict() for e in cached.admission.evaluations]
+                    if cached is not None
+                    else None
+                ),
             )
             try:
                 run_plan(plan, ctx, sink)
@@ -454,6 +540,24 @@ class PopDriver:
                     )
                 if metrics is not None:
                     metrics.inc("pop.reoptimizations", reason=signal.reason)
+                if cached is not None:
+                    # Runtime proved the cached plan's ranges stale for this
+                    # parameter regime — drop the variant (POP feedback
+                    # invalidation) and re-optimize from scratch.
+                    plan_cache.discard(
+                        statement.shape, cached.entry.fingerprint
+                    )
+                    if metrics is not None:
+                        metrics.inc(
+                            "plan_cache.invalidations", reason="reoptimized"
+                        )
+                    if tracer is not None:
+                        tracer.event(
+                            "plan_cache.invalidate",
+                            span=ctx.exec_span_id,
+                            fingerprint=cached.entry.fingerprint,
+                            reason="reoptimized",
+                        )
                 if ctx.rows_returned:
                     # Only compensating flavors may fire after rows went out.
                     if report.signal_flavor != "ECDC":
@@ -541,6 +645,10 @@ class PopDriver:
             if config.use_feedback:
                 harvest_execution_state(
                     ctx, None, feedback, self.catalog, _FEEDBACK_ONLY
+                )
+            if plan_cache is not None and statement is not None:
+                self._cache_settle(
+                    plan_cache, statement, query, plan, cached, report
                 )
             self._observe_attempt(ctx, report, attempt_span, interrupted=False)
             return delivered
@@ -633,6 +741,119 @@ class PopDriver:
         finally:
             self.optimizer.options = saved_options
 
+    # ------------------------------------------------------------ plan cache
+
+    def _cache_lookup(
+        self,
+        plan_cache,
+        statement,
+        query: Query,
+        config: PopConfig,
+        feedback: Optional[CardinalityFeedback],
+        meter: WorkMeter,
+        cost_model,
+        attempt_span,
+    ):
+        """Probe the plan cache; returns the hit LookupResult or None.
+
+        The admission test (a handful of per-edge estimates per variant) is
+        charged to the meter under its own category — visibly cheaper than
+        the plan enumeration it replaces.
+        """
+        lookup = plan_cache.lookup(
+            statement.shape,
+            query,
+            statement.params,
+            self.catalog,
+            feedback=feedback if config.use_feedback else None,
+            base_selectivity=self.optimizer.selectivity,
+        )
+        meter.charge(
+            cost_model.params.reopt_per_plan * max(lookup.examined, 1),
+            "plan_cache",
+        )
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("plan_cache.hits" if lookup.hit else "plan_cache.misses")
+            if lookup.admission_rejects:
+                metrics.inc(
+                    "plan_cache.admission_rejects", lookup.admission_rejects
+                )
+            if lookup.mutation_discards:
+                metrics.inc(
+                    "plan_cache.invalidations",
+                    lookup.mutation_discards,
+                    reason="mutated",
+                )
+        if self.tracer is not None:
+            self.tracer.event(
+                "plan_cache.hit" if lookup.hit else "plan_cache.miss",
+                span=attempt_span,
+                examined=lookup.examined,
+                admission_rejects=lookup.admission_rejects,
+                fingerprint=(
+                    lookup.entry.fingerprint if lookup.hit else None
+                ),
+                ranges_evaluated=(
+                    len(lookup.admission) if lookup.admission else 0
+                ),
+            )
+        return lookup if lookup.hit else None
+
+    def _cache_settle(
+        self,
+        plan_cache,
+        statement,
+        query: Query,
+        plan: PlanOp,
+        cached,
+        report: AttemptReport,
+    ) -> None:
+        """After a successful attempt: install a fresh plan, or verify a
+        reused one came back byte-identical (cached plans are immutable).
+
+        Plans referencing statement-scoped state are never installed: temp
+        MVs are dropped when the statement ends and compensating anti-joins
+        only make sense for this statement's already-delivered rows.
+        """
+        metrics = self.metrics
+        if cached is not None:
+            if plan_fingerprint(plan) == cached.entry.fingerprint:
+                return
+            # Self-heal: something mutated the cached plan during
+            # execution; drop it rather than ever reusing it again.
+            plan_cache.discard(statement.shape, cached.entry.fingerprint)
+            if metrics is not None:
+                metrics.inc("plan_cache.invalidations", reason="mutated")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "plan_cache.invalidate",
+                    fingerprint=cached.entry.fingerprint,
+                    reason="mutated",
+                )
+            return
+        if report.fallback or find_ops(plan, (AntiJoin, MVScan)):
+            return
+        entry, evicted = plan_cache.install(
+            statement.shape,
+            plan,
+            tables={t.table for t in query.tables},
+            params=statement.params,
+            checkpoints=report.checkpoints_placed,
+        )
+        if metrics is not None:
+            if entry is not None:
+                metrics.inc("plan_cache.installs")
+            if evicted:
+                metrics.inc("plan_cache.evictions", evicted)
+        if self.tracer is not None and entry is not None:
+            self.tracer.event(
+                "plan_cache.install",
+                fingerprint=entry.fingerprint,
+                evicted=evicted,
+                checkpoints=entry.checkpoints,
+            )
+
     # -------------------------------------------------------------- internals
 
     def _lint_attempt_plan(
@@ -640,6 +861,7 @@ class PopDriver:
         plan: PlanOp,
         feedback: Optional[CardinalityFeedback],
         attempt: int,
+        cached_fingerprint: Optional[str] = None,
     ) -> None:
         """Strict mode: lint the plan this attempt is about to execute.
 
@@ -656,6 +878,7 @@ class PopDriver:
                 feedback if attempt > 0 and self.config.use_feedback else None
             ),
             attempt=attempt,
+            cached_fingerprint=cached_fingerprint,
         )
         findings = assert_plan_clean(
             plan, context, where=f"attempt {attempt} plan"

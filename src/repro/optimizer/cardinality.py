@@ -79,7 +79,7 @@ class CardinalityEstimator:
     def predicates_for_subset(self, subset: frozenset) -> list[Predicate]:
         """All predicates fully applied once ``subset`` has been joined."""
         preds: list[Predicate] = []
-        for alias in subset:
+        for alias in sorted(subset):
             preds.extend(self._locals[alias])
         for jp in self.query.join_predicates:
             if jp.tables() <= subset:
@@ -106,7 +106,7 @@ class CardinalityEstimator:
         if key in self._cache:
             return self._cache[key]
         estimate = 1.0
-        for alias in key:
+        for alias in sorted(key):
             base = self.base_cardinality(alias) * self.local_selectivity(alias)
             # Per-alias feedback refines the leaf factors too.
             leaf_sig = (frozenset({alias}), predicate_set_id(self._locals[alias]))

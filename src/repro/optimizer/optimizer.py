@@ -60,10 +60,20 @@ class Optimizer:
         self,
         query: Query,
         feedback: Optional[CardinalityFeedback] = None,
+        selectivity: Optional[SelectivityEstimator] = None,
     ) -> OptimizationResult:
-        """Produce the cheapest plan for ``query`` under current knowledge."""
+        """Produce the cheapest plan for ``query`` under current knowledge.
+
+        ``selectivity`` overrides the optimizer's configured selectivity
+        model for this one call — the plan cache passes a bind-value peeking
+        estimator here so parameterized statements are planned for their
+        actual first-execution values.
+        """
         estimator = CardinalityEstimator(
-            self.catalog, query, feedback=feedback, selectivity=self.selectivity
+            self.catalog,
+            query,
+            feedback=feedback,
+            selectivity=selectivity if selectivity is not None else self.selectivity,
         )
         enumerator = PlanEnumerator(
             self.catalog, query, estimator, self.cost_model, self.options

@@ -176,6 +176,124 @@ def _strict_analysis_requested() -> bool:
     return os.environ.get("REPRO_STRICT_ANALYSIS", "").strip() not in ("", "0")
 
 
+def run_cache_stampede(
+    chaos_seed: int = 1,
+    threads: int = 8,
+    statements_per_thread: int = 6,
+    verbose: bool = True,
+) -> QueryOutcome:
+    """Hammer one statement shape from many threads against a cold cache.
+
+    Every thread misses at first (the stampede), so several optimize the
+    same shape concurrently and race to install; the cache must serialize
+    installs, keep the variant bound, and never hand any thread a plan that
+    produces wrong rows.  ``reuse_policy="never"`` keeps per-statement temp
+    MVs out of the picture — they are transaction-local and irrelevant to
+    the stampede being tested.
+    """
+    import random
+    import threading
+
+    from repro.workloads.dmv import schema as dmv_schema
+    from repro.workloads.dmv.generator import DmvScale, make_dmv_db
+
+    db = make_dmv_db(
+        scale=DmvScale(
+            owners=800, cars=1000, accidents=300, violations=400,
+            insurance=1000, dealers=60, inspections=600, registrations=1000,
+        ),
+        seed=7,
+    )
+    db.enable_plan_cache()
+    config = PopConfig(reuse_policy="never")
+    template = (
+        "SELECT o.o_id, o.o_name FROM car c, owner o "
+        "WHERE c.c_owner_id = o.o_id AND c.c_make = '{make}' "
+        "AND c.c_model = '{model}'"
+    )
+
+    def statement(rng: random.Random) -> str:
+        make_idx = rng.randrange(4)
+        return template.format(
+            make=dmv_schema.MAKES[make_idx],
+            model=dmv_schema.model_name(
+                make_idx, rng.randrange(dmv_schema.MODELS_PER_MAKE)
+            ),
+        )
+
+    # Oracle rows per distinct statement, computed single-threaded first.
+    oracle: dict[str, list] = {}
+    probe = random.Random(query_seed(chaos_seed, "stampede", "dmv"))
+    statements = [
+        statement(probe)
+        for _ in range(threads * statements_per_thread)
+    ]
+    for sql in statements:
+        if sql not in oracle:
+            oracle[sql] = canonical_rows(
+                db.execute(sql, pop=PopConfig(plan_cache=False)).rows
+            )
+
+    problems: list[str] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(threads)
+
+    def worker(tid: int) -> None:
+        mine = statements[
+            tid * statements_per_thread: (tid + 1) * statements_per_thread
+        ]
+        barrier.wait()  # release every thread onto the cold cache at once
+        for sql in mine:
+            try:
+                rows = canonical_rows(db.execute(sql, pop=config).rows)
+            except Exception as exc:
+                with lock:
+                    problems.append(
+                        f"thread {tid}: unhandled "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                return
+            if rows != oracle[sql]:
+                with lock:
+                    problems.append(
+                        f"thread {tid}: rows diverge from oracle for {sql!r}"
+                    )
+
+    pool = [
+        threading.Thread(target=worker, args=(tid,)) for tid in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+
+    stats = db.plan_cache.stats
+    shapes = len(db.plan_cache.shapes())
+    if shapes > 1:
+        problems.append(f"one statement shape produced {shapes} cache shapes")
+    if len(db.plan_cache) > db.plan_cache.config.variants_per_shape:
+        problems.append("variant bound violated under concurrent installs")
+    if stats.hits + stats.misses != threads * statements_per_thread:
+        problems.append(
+            f"lookup accounting off: {stats.hits} hits + {stats.misses} "
+            f"misses != {threads * statements_per_thread} statements"
+        )
+    outcome = QueryOutcome(
+        workload="stampede", query="dmv_make_model", chaos_seed=chaos_seed,
+        ok=not problems, problems=problems,
+    )
+    if verbose:
+        status = "ok" if outcome.ok else "FAIL"
+        print(
+            f"  [{status}] stampede/dmv_make_model seed={chaos_seed} "
+            f"threads={threads} hits={stats.hits} misses={stats.misses} "
+            f"installs={stats.installs}"
+        )
+        for problem in problems:
+            print(f"         - {problem}")
+    return outcome
+
+
 def run_chaos(
     workload: str = "all",
     seeds: tuple = (1, 2),
@@ -209,6 +327,12 @@ def run_chaos(
                     )
                     for problem in outcome.problems:
                         print(f"         - {problem}")
+    # Concurrency case: a cache stampede on one statement shape.
+    if workload in ("dmv", "all"):
+        for chaos_seed in seeds:
+            outcomes.append(
+                run_cache_stampede(chaos_seed=chaos_seed, verbose=verbose)
+            )
     return outcomes
 
 

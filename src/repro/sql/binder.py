@@ -48,10 +48,24 @@ from repro.storage.catalog import Catalog
 
 
 class Binder:
-    """Binds one statement."""
+    """Binds one statement.
 
-    def __init__(self, catalog: Catalog):
+    With ``lift_literals=True`` every comparison/BETWEEN literal is replaced
+    by an auto-named parameter marker (``__lit0``, ``__lit1``, ... in binding
+    order) and its type-coerced value is collected in :attr:`lifted_params`.
+    Statements differing only in those literal values then bind to the same
+    logical query shape — the normalization the plan cache keys on.
+    """
+
+    #: Prefix of auto-generated marker names; ``?`` markers lex as ``p1``,
+    #: ``p2``, ... so the leading underscores keep the namespaces apart.
+    LIFTED_PREFIX = "__lit"
+
+    def __init__(self, catalog: Catalog, lift_literals: bool = False):
         self.catalog = catalog
+        self.lift_literals = lift_literals
+        #: Values of lifted literals, keyed by generated marker name.
+        self.lifted_params: dict[str, object] = {}
         self._aliases: dict[str, str] = {}  # alias -> table name
 
     # ------------------------------------------------------------ resolution
@@ -109,7 +123,12 @@ class Binder:
         if isinstance(value, Marker):
             return ParameterMarker(value.name)
         if isinstance(value, Constant):
-            return Literal(self._coerce_literal(value.value, dtype))
+            coerced = self._coerce_literal(value.value, dtype)
+            if self.lift_literals:
+                name = f"{self.LIFTED_PREFIX}{len(self.lifted_params)}"
+                self.lifted_params[name] = coerced
+                return ParameterMarker(name)
+            return Literal(coerced)
         raise BindError(f"cannot bind operand {value!r}")
 
     # ------------------------------------------------------------ conditions

@@ -1,0 +1,95 @@
+"""Statement parameterization and shape keying for the plan cache.
+
+Production optimizers amortize optimization cost over repeated traffic by
+caching plans under a *normalized* statement: literals are lifted to
+parameter markers at bind time, so ``c_make = 'MAKE00'`` and
+``c_make = 'MAKE07'`` share one cache entry.  This module performs that
+normalization for the repro engine:
+
+* :func:`parameterize_sql` parses and binds SQL with literal lifting turned
+  on, returning the marker-normalized :class:`~repro.plan.logical.Query`,
+  the lifted bind values, and the statement's *shape key*;
+* :func:`statement_shape` derives the shape key from any bound query — a
+  canonical text that is identical for statements differing only in lifted
+  literal values and distinct for statements differing in structure
+  (FROM-list order, select list, extra predicates, grouping, ordering,
+  LIMIT, DISTINCT).
+
+Only comparison and BETWEEN operands are liftable (the positions where the
+engine supports markers).  IN-list members, LIKE patterns, HAVING constants
+and LIMIT values stay inline and are therefore part of the shape — two
+statements differing there get separate cache entries, which over-splits
+but never wrongly collides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.plan.logical import Aggregate, Query
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_sql
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class ParameterizedStatement:
+    """One normalized statement: shape key, bound query, lifted values."""
+
+    #: Marker-normalized logical query (lifted literals are markers).
+    query: Query
+    #: Canonical shape key (see :func:`statement_shape`).
+    shape: str
+    #: Lifted literal values keyed by generated marker name (``__litN``).
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def lifted(self) -> int:
+        """How many literals were lifted to markers."""
+        return len(self.params)
+
+
+def statement_shape(query: Query) -> str:
+    """Canonical shape key of a bound query.
+
+    Built from the query's own structure, not the SQL text, so
+    programmatically constructed queries get keys too.  Lifted literals
+    appear as their positional marker names (``?__litN``) inside predicate
+    ids, which makes the key literal-insensitive; everything structural —
+    FROM order, select items and aliases, predicate lists, grouping,
+    HAVING, ordering, LIMIT, DISTINCT — is included verbatim, so two
+    structurally different statements cannot collide.
+    """
+    select_items = []
+    for item in query.select:
+        if isinstance(item, Aggregate):
+            select_items.append(f"{item}->{item.alias}")
+        else:
+            select_items.append(item.qualified)
+    parts = [
+        "select=" + ",".join(select_items),
+        "from=" + ",".join(f"{t.alias}:{t.table}" for t in query.tables),
+        "where=" + "&".join(p.pred_id for p in query.local_predicates),
+        "join=" + "&".join(p.pred_id for p in query.join_predicates),
+        "group=" + ",".join(c.qualified for c in query.group_by),
+        "having=" + "&".join(str(h) for h in query.having),
+        "order=" + ",".join(
+            f"{o.column}:{'asc' if o.ascending else 'desc'}"
+            for o in query.order_by
+        ),
+        f"limit={query.limit}",
+        f"distinct={query.distinct}",
+    ]
+    return " | ".join(parts)
+
+
+def parameterize_sql(text: str, catalog: Catalog) -> ParameterizedStatement:
+    """Parse, bind with literal lifting, and key one SQL statement."""
+    binder = Binder(catalog, lift_literals=True)
+    query = binder.bind(parse_sql(text))
+    return ParameterizedStatement(
+        query=query,
+        shape=statement_shape(query),
+        params=dict(binder.lifted_params),
+    )

@@ -1,0 +1,108 @@
+"""Golden-plan regression tests (ISSUE satellite #3).
+
+Optimizes a fixed set of TPC-H and DMV statements against the seed
+catalogs (the same scales/seeds as the session fixtures) and compares the
+canonical explain text — operator tree, join order, narrowed validity
+ranges, and for one representative query the POP checkpoint placement —
+against checked-in golden files in ``tests/golden/``.
+
+Any change to the optimizer, cost model, selectivity estimation, validity
+range narrowing, or checkpoint placement that alters these plans fails
+loudly here instead of silently shifting what the plan cache fingerprints
+and reuses.
+
+Regenerating after an *intentional* planner change::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_plans.py
+
+then inspect ``git diff tests/golden/`` and commit the new files with the
+change that caused them.  Costs are excluded from the golden text on
+purpose: cost-model parameter tuning should not churn these files unless
+it also changes a plan.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import PopConfig
+from repro.core.placement import place_checkpoints
+from repro.plan.explain import explain_plan, join_order
+from repro.workloads.dmv.queries import dmv_queries
+from repro.workloads.tpch import queries as tpch_q
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = os.environ.get("REGEN_GOLDEN") == "1"
+
+TPCH_CASES = ["Q1", "Q3", "Q5", "Q6", "Q10"]
+# Name, index into the deterministic 39-query DMV workload.
+DMV_CASES = [("dmv_00", 0), ("dmv_07", 7), ("dmv_20", 20)]
+
+
+def render(db, query, with_checkpoints=False) -> str:
+    opt = db.optimizer.optimize(query)
+    plan = opt.plan
+    lines = [f"join_order: {join_order(plan)}"]
+    if with_checkpoints:
+        placement = place_checkpoints(
+            plan,
+            PopConfig(),
+            db.optimizer.cost_model,
+            is_spj=not (query.has_aggregates or query.distinct),
+        )
+        plan = placement.plan
+        lines.append(f"checkpoints: {placement.count}")
+    lines.append(explain_plan(plan, show_cost=False))
+    return "\n".join(lines) + "\n"
+
+
+def check_golden(name: str, text: str) -> None:
+    path = GOLDEN_DIR / f"{name}.txt"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden file {path}; run REGEN_GOLDEN=1 pytest "
+        "tests/test_golden_plans.py to create it"
+    )
+    expected = path.read_text()
+    assert text == expected, (
+        f"plan for {name} changed; if intentional, regenerate with "
+        "REGEN_GOLDEN=1 and commit the diff"
+    )
+
+
+@pytest.mark.parametrize("name", TPCH_CASES)
+def test_tpch_golden_plan(tpch_db, name):
+    query = tpch_db._to_query(getattr(tpch_q, name))
+    check_golden(f"tpch_{name.lower()}", render(tpch_db, query))
+
+
+@pytest.mark.parametrize("name,idx", DMV_CASES)
+def test_dmv_golden_plan(dmv_db, name, idx):
+    sql = dmv_queries()[idx][1]
+    query = dmv_db._to_query(sql)
+    check_golden(name, render(dmv_db, query))
+
+
+def test_tpch_q3_checkpointed_golden(tpch_db):
+    """Lock checkpoint placement, not just the optimizer's plan shape."""
+    query = tpch_db._to_query(tpch_q.Q3)
+    check_golden(
+        "tpch_q3_checkpointed", render(tpch_db, query, with_checkpoints=True)
+    )
+
+
+def test_golden_files_have_no_strays():
+    """Every checked-in golden file corresponds to a test case."""
+    if not GOLDEN_DIR.exists():
+        pytest.skip("no golden directory yet")
+    expected = {f"tpch_{n.lower()}.txt" for n in TPCH_CASES}
+    expected |= {f"{n}.txt" for n, _ in DMV_CASES}
+    expected.add("tpch_q3_checkpointed.txt")
+    actual = {p.name for p in GOLDEN_DIR.glob("*.txt")}
+    assert actual == expected

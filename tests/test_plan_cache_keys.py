@@ -1,0 +1,215 @@
+"""Property-based tests for plan-cache shape keying and eviction.
+
+The cache key contract (paper §6, plan reuse):
+
+* statements differing **only in literal values** at liftable positions
+  (comparison and BETWEEN operands) normalize to the same shape key;
+* statements differing **structurally** — different select list, extra
+  predicates, different FROM-list text order, grouping, ordering, LIMIT,
+  DISTINCT — never collide;
+* the cache's two-level LRU never holds more than ``capacity`` shapes or
+  ``variants_per_shape`` variants per shape, whatever the insert order.
+
+Hypothesis drives randomized literals, operators, and insert sequences
+through those invariants.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.cache import PlanCache, PlanCacheConfig
+from repro.sql.parameterize import parameterize_sql, statement_shape
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table("t", [("id", "int"), ("k", "int"), ("v", "str")])
+    db.create_table("s", [("id", "int"), ("w", "int")])
+    db.insert("t", [(i, i % 13, f"v{i % 7}") for i in range(200)])
+    db.insert("s", [(i, i % 5) for i in range(50)])
+    db.runstats()
+    return db
+
+
+DB = make_db()
+
+ints = st.integers(min_value=-1000, max_value=1000)
+cmp_ops = st.sampled_from(["=", "<", ">", "<=", ">="])
+
+
+class TestLiteralInsensitivity:
+    @given(a=ints, b=ints, op=cmp_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_literal_only_difference_same_key(self, a, b, op):
+        s1 = parameterize_sql(
+            f"SELECT t.v FROM t WHERE t.k {op} {a}", DB.catalog
+        )
+        s2 = parameterize_sql(
+            f"SELECT t.v FROM t WHERE t.k {op} {b}", DB.catalog
+        )
+        assert s1.shape == s2.shape
+        assert s1.lifted == s2.lifted == 1
+        assert list(s1.params.values()) == [a]
+        assert list(s2.params.values()) == [b]
+
+    @given(a=ints, b=ints, c=ints, d=ints)
+    @settings(max_examples=40, deadline=None)
+    def test_between_and_join_literals_lifted(self, a, b, c, d):
+        lo1, hi1 = sorted((a, b))
+        lo2, hi2 = sorted((c, d))
+        s1 = parameterize_sql(
+            "SELECT t.v, s.w FROM t, s WHERE t.id = s.id "
+            f"AND t.k BETWEEN {lo1} AND {hi1}",
+            DB.catalog,
+        )
+        s2 = parameterize_sql(
+            "SELECT t.v, s.w FROM t, s WHERE t.id = s.id "
+            f"AND t.k BETWEEN {lo2} AND {hi2}",
+            DB.catalog,
+        )
+        assert s1.shape == s2.shape
+        assert s1.lifted == 2  # both BETWEEN bounds lifted
+
+    @given(a=ints, b=ints)
+    @settings(max_examples=40, deadline=None)
+    def test_string_literals_lifted(self, a, b):
+        s1 = parameterize_sql(
+            f"SELECT t.k FROM t WHERE t.v = 'x{a}'", DB.catalog
+        )
+        s2 = parameterize_sql(
+            f"SELECT t.k FROM t WHERE t.v = 'x{b}'", DB.catalog
+        )
+        assert s1.shape == s2.shape
+
+
+class TestStructuralDistinctness:
+    @given(lit=ints)
+    @settings(max_examples=30, deadline=None)
+    def test_different_select_list_differs(self, lit):
+        s1 = parameterize_sql(
+            f"SELECT t.v FROM t WHERE t.k = {lit}", DB.catalog
+        )
+        s2 = parameterize_sql(
+            f"SELECT t.id FROM t WHERE t.k = {lit}", DB.catalog
+        )
+        s3 = parameterize_sql(
+            f"SELECT t.v, t.id FROM t WHERE t.k = {lit}", DB.catalog
+        )
+        assert len({s1.shape, s2.shape, s3.shape}) == 3
+
+    @given(lit=ints)
+    @settings(max_examples=30, deadline=None)
+    def test_extra_predicate_differs(self, lit):
+        s1 = parameterize_sql(
+            f"SELECT t.v FROM t WHERE t.k = {lit}", DB.catalog
+        )
+        s2 = parameterize_sql(
+            f"SELECT t.v FROM t WHERE t.k = {lit} AND t.id > {lit}",
+            DB.catalog,
+        )
+        assert s1.shape != s2.shape
+
+    @given(lit=ints)
+    @settings(max_examples=30, deadline=None)
+    def test_from_list_order_differs(self, lit):
+        # FROM order is structural in the shape key: over-splitting is
+        # safe (separate entries), collision would not be.
+        s1 = parameterize_sql(
+            f"SELECT t.v FROM t, s WHERE t.id = s.id AND t.k = {lit}",
+            DB.catalog,
+        )
+        s2 = parameterize_sql(
+            f"SELECT t.v FROM s, t WHERE t.id = s.id AND t.k = {lit}",
+            DB.catalog,
+        )
+        assert s1.shape != s2.shape
+
+    @given(lit=ints, limit=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_limit_distinct_order_are_structural(self, lit, limit):
+        base = f"SELECT t.v FROM t WHERE t.k = {lit}"
+        shapes = {
+            parameterize_sql(base, DB.catalog).shape,
+            parameterize_sql(f"{base} LIMIT {limit}", DB.catalog).shape,
+            parameterize_sql(
+                f"SELECT DISTINCT t.v FROM t WHERE t.k = {lit}", DB.catalog
+            ).shape,
+            parameterize_sql(f"{base} ORDER BY t.v", DB.catalog).shape,
+        }
+        assert len(shapes) == 4
+
+    @given(lit=ints)
+    @settings(max_examples=30, deadline=None)
+    def test_operator_is_structural(self, lit):
+        shapes = {
+            parameterize_sql(
+                f"SELECT t.v FROM t WHERE t.k {op} {lit}", DB.catalog
+            ).shape
+            for op in ("=", "<", ">", "<=", ">=")
+        }
+        assert len(shapes) == 5
+
+    def test_shape_from_query_object_matches_sql_path(self):
+        stmt = parameterize_sql(
+            "SELECT t.v FROM t WHERE t.k = 5", DB.catalog
+        )
+        assert statement_shape(stmt.query) == stmt.shape
+
+
+class TestEvictionProperties:
+    @given(
+        lits=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=40
+        ),
+        capacity=st.integers(min_value=1, max_value=5),
+        variants=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_capacity_never_exceeded(self, lits, capacity, variants):
+        cache = PlanCache(
+            PlanCacheConfig(capacity=capacity, variants_per_shape=variants)
+        )
+        for lit in lits:
+            # Distinct select lists force distinct shapes; reuse a small
+            # set of columns so shapes repeat and exercise variant slots.
+            col = ("t.v", "t.id", "t.k")[lit % 3]
+            stmt = parameterize_sql(
+                f"SELECT {col} FROM t WHERE t.k = {lit}", DB.catalog
+            )
+            opt = DB.optimizer.optimize(stmt.query)
+            cache.install(
+                stmt.shape, opt.plan, {"t"}, params=stmt.params
+            )
+            assert len(cache.shapes()) <= capacity
+            for shape in cache.shapes():
+                entry_shapes = [
+                    e for e in cache.entries() if e.shape == shape
+                ]
+                assert len(entry_shapes) <= variants
+        installed = cache.stats.installs
+        assert len(cache) == installed - cache.stats.evictions
+
+    @given(
+        order=st.permutations(list(range(4))),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_lru_evicts_least_recently_touched_shape(self, order):
+        cache = PlanCache(PlanCacheConfig(capacity=3, variants_per_shape=2))
+        cols = ("t.v", "t.id", "t.k", "t.v, t.id")
+        shapes = []
+        for i in order:
+            stmt = parameterize_sql(
+                f"SELECT {cols[i]} FROM t WHERE t.k = 1", DB.catalog
+            )
+            opt = DB.optimizer.optimize(stmt.query)
+            cache.install(stmt.shape, opt.plan, {"t"})
+            shapes.append(stmt.shape)
+        # Four distinct shapes through capacity 3: the first-installed
+        # (least recently used) shape must be the evicted one.
+        assert len(cache.shapes()) == 3
+        assert shapes[0] not in cache
+        for shape in shapes[1:]:
+            assert shape in cache
