@@ -19,12 +19,13 @@ Public API highlights:
 """
 
 from repro.analysis import Finding, LintContext, PlanLintError, lint_plan
-from repro.core.config import NO_POP, PopConfig, ResiliencePolicy
+from repro.core.config import NO_POP, MemoryPolicy, PopConfig, ResiliencePolicy
 from repro.core.database import Database, Result
 from repro.core.driver import PopDriver, PopReport
 from repro.core.flavors import ALL_FLAVORS, DEFAULT_FLAVORS, TABLE1
 from repro.core.learning import LearnedCardinalities
 from repro.expr.expressions import ColumnRef, Literal, ParameterMarker
+from repro.governor import MemoryGovernor, Reservation, estimate_plan_memory
 from repro.expr.predicates import (
     Between,
     Comparison,
@@ -48,6 +49,10 @@ __all__ = [
     "PopConfig",
     "NO_POP",
     "ResiliencePolicy",
+    "MemoryPolicy",
+    "MemoryGovernor",
+    "Reservation",
+    "estimate_plan_memory",
     "FaultPlan",
     "FaultSpec",
     "PopDriver",

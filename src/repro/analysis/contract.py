@@ -35,6 +35,13 @@ breaks the reproduction rather than crashing it:
   declaration in ``executor/base.py``, the arm site in
   ``executor/runtime.py``, and the driver).  Package-level imports
   (``from repro.resilience import FaultPlan``) stay legal everywhere.
+* **spill-lifecycle** — every spill file is closed and deleted on success
+  and abort paths alike: :class:`repro.storage.spill.SpillFile` may only
+  be constructed inside ``storage/spill.py`` (operators go through
+  ``SpillManager.create``, whose bookkeeping ``close_all`` relies on),
+  and ``run_plan`` must call ``release_spill`` in a ``finally`` block —
+  the single cleanup point every exit (completion, re-optimization
+  signal, injected fault, timeout) funnels through.
 
 Pure stdlib (``ast``); no third-party linter is needed at runtime.
 """
@@ -105,6 +112,7 @@ def check_source_tree(root: str) -> list[Finding]:
         findings.extend(check_determinism(tree, rel))
         findings.extend(check_bare_except(tree, rel))
         findings.extend(check_fault_isolation(tree, rel))
+        findings.extend(check_spill_lifecycle(tree, rel))
         if rel.endswith("optimizer/costmodel.py") or "cache/" in rel:
             # Cost arithmetic and the plan cache's admission test both
             # compare derived floats; == on them is always a bug.
@@ -121,6 +129,7 @@ def check_module(source: str, filename: str = "<snippet>") -> list[Finding]:
     findings = list(check_determinism(tree, filename))
     findings.extend(check_bare_except(tree, filename))
     findings.extend(check_fault_isolation(tree, filename))
+    findings.extend(check_spill_lifecycle(tree, filename))
     findings.extend(check_float_eq(tree, filename, source=source))
     findings.extend(check_iterator_contract({filename: tree}))
     findings.extend(check_close_guarded({filename: tree}))
@@ -465,6 +474,78 @@ def check_close_guarded(trees: dict[str, ast.Module]) -> Iterator[Finding]:
                     file=rel,
                     line=sub.lineno,
                 )
+
+
+# -------------------------------------------------------- spill lifecycle
+
+
+def _finally_calls(tree: ast.AST, method: str) -> bool:
+    """True if any ``finally`` block under ``tree`` calls ``*.<method>()``."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == method
+                ):
+                    return True
+    return False
+
+
+def check_spill_lifecycle(tree: ast.Module, rel: str) -> Iterator[Finding]:
+    """Spill files are managed: constructed only through the manager, and
+    released in ``run_plan``'s ``finally`` block.
+
+    Direct ``SpillFile(...)`` construction bypasses the
+    :class:`~repro.storage.spill.SpillManager` registry, so ``close_all``
+    (the executor's ``finally``-block cleanup) would never see the file —
+    it would leak its disk footprint past the statement on every abort
+    path.  And the release call itself must sit in a ``finally`` block:
+    anywhere else, a re-optimization signal or injected fault skips it.
+    """
+    if not rel.endswith("storage/spill.py"):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name == "SpillFile":
+                yield Finding(
+                    rule="spill-lifecycle",
+                    severity=ERROR,
+                    message=(
+                        "SpillFile constructed outside storage/spill.py: "
+                        "go through SpillManager.create so the file is "
+                        "registered for close_all() cleanup on abort paths"
+                    ),
+                    file=rel,
+                    line=node.lineno,
+                )
+    if rel.endswith("executor/runtime.py"):
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "run_plan"
+            ):
+                if not _finally_calls(node, "release_spill"):
+                    yield Finding(
+                        rule="spill-lifecycle",
+                        severity=ERROR,
+                        message=(
+                            "run_plan does not call release_spill() in a "
+                            "finally block: spill files would leak on "
+                            "re-optimization signals, faults, and timeouts"
+                        ),
+                        file=rel,
+                        line=node.lineno,
+                    )
 
 
 # -------------------------------------------------------- fault isolation

@@ -45,8 +45,14 @@ meta commands:
   \\set NAME VALUE           bind a parameter for ? / :name markers
   \\params                   show current parameter bindings
   \\timing on|off            print work units and wall time per statement
+  \\memory [on [BUDGET]|off] memory governor: show budget, live
+                            reservations, admission queue depth, and spill
+                            totals; \\memory on [BUDGET] enables it with a
+                            shared page budget (default 512)
   \\chaos SEED|off           run statements under seeded fault injection
                             (retry/backoff and safe-plan fallback engaged)
+  \\chaos mem [SEED]         memory-pressure mode: inject only mid-query
+                            grant shrinks (operators degrade by spilling)
   \\trace on|off [FILE]      record a JSONL execution trace (spans/events
                             for optimize, checkpoint placement, execution,
                             re-optimization; default file repro_trace.jsonl)
@@ -76,6 +82,8 @@ class Shell:
         #: derive from this plus a statement counter.
         self.chaos_seed: Optional[int] = None
         self._chaos_statements = 0
+        #: ``\chaos mem`` narrows injection to memory-pressure faults only.
+        self.chaos_memory = False
         #: Engine metrics accumulate across the session; ``\metrics`` shows
         #: them, ``\metrics reset`` clears them.
         self.metrics = MetricsRegistry()
@@ -378,19 +386,81 @@ class Shell:
             if self.chaos_seed is None:
                 self.write("chaos is off")
             else:
-                self.write(f"chaos is on (seed {self.chaos_seed})")
+                mode = " (memory pressure)" if self.chaos_memory else ""
+                self.write(f"chaos is on (seed {self.chaos_seed}){mode}")
             return
         if args[0] == "off":
             self.chaos_seed = None
+            self.chaos_memory = False
             self.write("chaos off")
+            return
+        if args[0] == "mem":
+            try:
+                self.chaos_seed = int(args[1]) if len(args) > 1 else 1
+            except ValueError:
+                self.write("usage: \\chaos mem [SEED]")
+                return
+            self.chaos_memory = True
+            self._chaos_statements = 0
+            self.write(
+                f"chaos on (memory pressure, seed {self.chaos_seed}) — "
+                "grants will be squeezed mid-query; sorts/joins/temps spill"
+            )
             return
         try:
             self.chaos_seed = int(args[0])
         except ValueError:
-            self.write("usage: \\chaos SEED | \\chaos off")
+            self.write("usage: \\chaos SEED | \\chaos mem [SEED] | \\chaos off")
             return
+        self.chaos_memory = False
         self._chaos_statements = 0
         self.write(f"chaos on (seed {self.chaos_seed})")
+
+    def _meta_memory(self, args) -> None:
+        if args and args[0] == "on":
+            try:
+                budget = float(args[1]) if len(args) > 1 else 512.0
+            except ValueError:
+                self.write("usage: \\memory on [BUDGET_PAGES]")
+                return
+            self.db.enable_memory_governor(
+                budget_pages=budget, metrics=self.metrics, tracer=self.tracer
+            )
+            self.write(f"memory governor on (budget {budget:g} pages)")
+            return
+        if args and args[0] == "off":
+            self.db.disable_memory_governor()
+            self.write("memory governor off")
+            return
+        if args:
+            self.write("usage: \\memory [on [BUDGET_PAGES]|off]")
+            return
+        governor = self.db.memory_governor
+        if governor is None:
+            self.write("memory governor is off (\\memory on to enable)")
+            return
+        snap = governor.snapshot()
+        self.write(
+            f"budget {snap['budget_pages']:g} pages, "
+            f"used {snap['used_pages']:g}, peak {snap['peak_pages']:g}, "
+            f"queue depth {snap['queue_depth']}"
+        )
+        self.write(
+            f"  admitted={snap['admitted_total']} "
+            f"queued={snap['queued_total']} "
+            f"shed={snap['rejected_total']} "
+            f"renegotiations={snap['renegotiation_total']}"
+        )
+        self.write(
+            f"  spilled: {snap['spill_files_total']} file(s), "
+            f"{snap['spill_pages_total']:.1f} page(s), "
+            f"{snap['spill_bytes_total']:,} byte(s)"
+        )
+        for res in snap["reservations"]:
+            self.write(
+                f"  [{res['pages']:g}/{res['initial_pages']:g} pages, "
+                f"{res['renegotiations']} shrink(s)] {res['label']}"
+            )
 
     def _meta_trace(self, args) -> None:
         if not args:
@@ -447,12 +517,13 @@ class Shell:
         """The next statement's fault plan when ``\\chaos`` is on."""
         if self.chaos_seed is None:
             return None
-        from repro.resilience import ALL_KINDS, FaultPlan
+        from repro.resilience import ALL_KINDS, MEM_SHRINK, FaultPlan
 
         self._chaos_statements += 1
+        kinds = (MEM_SHRINK,) if self.chaos_memory else ALL_KINDS
         return FaultPlan.seeded(
             self.chaos_seed + self._chaos_statements - 1,
-            kinds=ALL_KINDS,
+            kinds=kinds,
             tables=[t.name for t in self.db.catalog.tables()],
         )
 
@@ -504,6 +575,11 @@ class Shell:
                 notes.append(f"{report.retries} retry(ies)")
             if report.fallback_used:
                 notes.append("safe-plan fallback")
+            if report.spilled:
+                notes.append(
+                    f"spilled {report.spill_pages:.0f} page(s) in "
+                    f"{report.spill_files} file(s)"
+                )
             note = f" ({', '.join(notes)})" if notes else ""
             self.write(
                 f"{len(result.rows)} row(s), {report.total_units:,.0f} work "

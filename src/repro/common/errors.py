@@ -57,7 +57,48 @@ class TransientError(ExecutionError):
 class ResourceExhausted(TransientError):
     """A runtime resource (memory grant, buffer) shrank below the minimum
     the operator can make progress with.  Transient: a retry re-plans and
-    may avoid the starved operator entirely."""
+    may avoid the starved operator entirely.
+
+    Carries the structured facts of the starved request — which grant
+    *category* (sort/hash/temp), how many pages were *requested*, and what
+    the *effective grant* came out to — so memory failures are diagnosable
+    from trace/metrics output alone, without a debugger.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        category: str | None = None,
+        requested_pages: float | None = None,
+        granted_pages: float | None = None,
+    ):
+        super().__init__(message)
+        self.category = category
+        self.requested_pages = requested_pages
+        self.granted_pages = granted_pages
+
+
+class AdmissionRejected(ReproError):
+    """The memory governor shed this statement instead of admitting it.
+
+    Raised before any execution work happens: the shared page budget is
+    saturated and the admission queue is full (or the queue wait timed
+    out).  Deliberately *not* a :class:`TransientError` — the execution
+    guard must not burn its retry budget on a statement the governor has
+    already decided to shed; the caller (application) owns the retry
+    decision."""
+
+    def __init__(
+        self,
+        message: str,
+        requested_pages: float | None = None,
+        budget_pages: float | None = None,
+        queue_depth: int | None = None,
+    ):
+        super().__init__(message)
+        self.requested_pages = requested_pages
+        self.budget_pages = budget_pages
+        self.queue_depth = queue_depth
 
 
 class ExecutionTimeout(ExecutionError):
@@ -78,6 +119,7 @@ class StatisticsError(ReproError):
 TRANSIENT = "transient"
 RESOURCE = "resource"
 TIMEOUT = "timeout"
+ADMISSION = "admission"
 USER = "user"
 FATAL = "fatal"
 
@@ -90,8 +132,10 @@ def failure_class(exc: BaseException) -> str:
     """Classify an exception for the execution guard and the CLI.
 
     ``transient`` / ``resource`` failures are retryable, ``timeout`` goes
-    straight to the safe-plan fallback, ``user`` means the statement is at
-    fault, and ``fatal`` is everything else (a genuine engine failure).
+    straight to the safe-plan fallback, ``admission`` means the memory
+    governor shed the statement before it ran (the caller decides whether
+    to resubmit), ``user`` means the statement is at fault, and ``fatal``
+    is everything else (a genuine engine failure).
     """
     if isinstance(exc, ResourceExhausted):
         return RESOURCE
@@ -99,6 +143,8 @@ def failure_class(exc: BaseException) -> str:
         return TRANSIENT
     if isinstance(exc, ExecutionTimeout):
         return TIMEOUT
+    if isinstance(exc, AdmissionRejected):
+        return ADMISSION
     if isinstance(exc, _USER_ERRORS):
         return USER
     return FATAL

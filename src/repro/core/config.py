@@ -51,6 +51,63 @@ class ResiliencePolicy:
 
 
 @dataclass
+class MemoryPolicy:
+    """Memory-governor policy (:mod:`repro.governor`).
+
+    Attached to :class:`PopConfig` (``memory=...``) and activated by
+    :meth:`repro.core.database.Database.enable_memory_governor`.  When
+    absent (the default) the engine keeps its legacy behavior: every
+    operator gets its full modeled grant and a squeeze below the minimum
+    raises :class:`~repro.common.errors.ResourceExhausted`.
+
+    With a policy in place the degradation ladder replaces the hard
+    failure: operators whose footprint exceeds their grant *spill* to
+    disk (external-merge sort, Grace-partitioned hash join, file-backed
+    TEMP) before the guard ever considers robust flavors or the safe
+    plan.
+    """
+
+    #: Shared page budget owned by the governor; all concurrently running
+    #: statements' reservations must fit inside it.
+    budget_pages: float = 512.0
+    #: Floor of any admission reservation: even a statement whose plan
+    #: needs less reserves this much (and renegotiation never shrinks a
+    #: running reservation below it).
+    min_reservation_pages: float = 16.0
+    #: Statements allowed to wait for pages when the budget is saturated;
+    #: beyond this depth admission sheds with
+    #: :class:`~repro.common.errors.AdmissionRejected`.
+    max_queue_depth: int = 8
+    #: Wall-clock cap on one statement's admission wait.
+    queue_timeout_seconds: float = 30.0
+    #: Master switch for operator spilling; disabling it restores the
+    #: legacy raise-on-squeeze behavior while keeping admission control.
+    spill_enabled: bool = True
+    #: Minimum per-operator working grant: a squeezed operator always
+    #: keeps this many pages in memory and spills the rest.
+    min_grant_pages: float = 8.0
+    #: Fan-out of one Grace hash-join partitioning pass.
+    spill_partitions: int = 8
+    #: Recursive re-partitioning depth cap; a partition still too big at
+    #: this depth falls back to block nested-loop within the partition.
+    max_recursion_depth: int = 3
+
+    def __post_init__(self) -> None:
+        if self.budget_pages <= 0:
+            raise ValueError("budget_pages must be positive")
+        if self.min_reservation_pages <= 0:
+            raise ValueError("min_reservation_pages must be positive")
+        if self.min_grant_pages <= 0:
+            raise ValueError("min_grant_pages must be positive")
+        if self.spill_partitions < 2:
+            raise ValueError("spill_partitions must be at least 2")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        if self.max_recursion_depth < 0:
+            raise ValueError("max_recursion_depth must be non-negative")
+
+
+@dataclass
 class PopConfig:
     """Controls progressive optimization for one statement.
 
@@ -108,6 +165,11 @@ class PopConfig:
     #: fallback.  ``None`` disables the guard entirely (the default — no
     #: behavior change and zero overhead).
     resilience: Optional[ResiliencePolicy] = None
+    #: Memory-governor policy (:mod:`repro.governor`): admission control
+    #: against a shared page budget, per-operator grant arbitration, and
+    #: spill-based degradation.  ``None`` disables the governor (the
+    #: default — legacy full grants, hard ``ResourceExhausted`` failures).
+    memory: Optional[MemoryPolicy] = None
 
     def reopt_limit_for(self, query) -> int:
         """The effective re-optimization cap for ``query``."""

@@ -20,11 +20,11 @@ otherwise).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Optional, Sequence
 
 from repro.cache import cache_usable
-from repro.core.config import NO_POP, PopConfig
+from repro.core.config import NO_POP, MemoryPolicy, PopConfig
 from repro.core.driver import PopDriver, PopReport
 from repro.sql.parameterize import parameterize_sql
 from repro.core.learning import LearnedCardinalities
@@ -78,6 +78,9 @@ class Database:
         #: Validity-range-aware plan cache (:mod:`repro.cache`); off until
         #: :meth:`enable_plan_cache`.
         self.plan_cache = None
+        #: Per-database memory governor (:mod:`repro.governor`); off until
+        #: :meth:`enable_memory_governor`.
+        self.memory_governor = None
 
     def enable_learning(self) -> "LearnedCardinalities":
         """Turn on cross-statement cardinality learning (LEO-style)."""
@@ -110,6 +113,37 @@ class Database:
 
     def disable_plan_cache(self) -> None:
         self.plan_cache = None
+
+    def enable_memory_governor(
+        self,
+        budget_pages: float = 512.0,
+        policy: Optional[MemoryPolicy] = None,
+        metrics=None,
+        tracer=None,
+    ):
+        """Turn on the shared-budget memory governor (:mod:`repro.governor`).
+
+        Every subsequent :meth:`execute` is admitted against the budget
+        with a reservation sized from the plan's estimated memory (queuing,
+        then shedding with
+        :class:`~repro.common.errors.AdmissionRejected` when saturated),
+        and memory-consuming operators degrade by spilling instead of
+        raising ``ResourceExhausted`` when their grants are squeezed.
+
+        ``metrics`` / ``tracer`` attach ``governor.*`` observability to
+        admission decisions and renegotiations.
+        """
+        from repro.governor import MemoryGovernor
+
+        if policy is None:
+            policy = MemoryPolicy(budget_pages=budget_pages)
+        self.memory_governor = MemoryGovernor(
+            policy, metrics=metrics, tracer=tracer
+        )
+        return self.memory_governor
+
+    def disable_memory_governor(self) -> None:
+        self.memory_governor = None
 
     def _invalidate_cached_plans(self, tables=None) -> None:
         """Drop cached plans affected by a data/statistics/DDL change."""
@@ -199,17 +233,45 @@ class Database:
             run_params.update(stmt.params)
         else:
             query = self._to_query(statement)
+        governor = self.memory_governor
+        reservation = None
+        if governor is not None:
+            # Size the reservation from a compile-time estimate of the
+            # plan's working memory (sort/hash/temp footprints).  The
+            # sizing pass is not charged to the statement's meter — it is
+            # the admission decision, not the statement's work.
+            from repro.governor import estimate_plan_memory
+
+            sizing = self.optimizer.optimize(query)
+            requested = estimate_plan_memory(sizing.plan, self.cost_params)
+            label = statement if isinstance(statement, str) else "query"
+            reservation = governor.admit(requested, label=str(label)[:60])
+            if config.memory is None:
+                config = replace(config, memory=governor.policy)
         driver = PopDriver(self.optimizer, config, tracer=tracer, metrics=metrics)
         feedback = self.learning.seed() if self.learning is not None else None
-        rows, report = driver.run(
-            query,
-            params=run_params,
-            meter=meter,
-            feedback=feedback,
-            faults=faults,
-            plan_cache=self.plan_cache if stmt is not None else None,
-            statement=stmt,
-        )
+        try:
+            rows, report = driver.run(
+                query,
+                params=run_params,
+                meter=meter,
+                feedback=feedback,
+                faults=faults,
+                plan_cache=self.plan_cache if stmt is not None else None,
+                statement=stmt,
+                reservation=reservation,
+            )
+        finally:
+            if reservation is not None:
+                governor.release(reservation)
+        if governor is not None and report.spilled:
+            governor.record_spill(
+                {
+                    "files": report.spill_files,
+                    "bytes": report.spill_bytes,
+                    "pages": report.spill_pages,
+                }
+            )
         if self.learning is not None and feedback is not None:
             self.learning.absorb(feedback)
         return Result(columns=query.output_names, rows=rows, report=report)

@@ -109,6 +109,18 @@ class AttemptReport:
     #: The admission test that justified reuse: one dict per evaluated
     #: validity/CHECK range (all ``inside`` by construction on a hit).
     cache_admission: Optional[list] = None
+    #: Memory-governor accounting: whether any operator degraded to disk,
+    #: how much (in modeled pages / spill files), and which operator kinds.
+    spilled: bool = False
+    spill_pages: float = 0.0
+    spill_files: int = 0
+    spill_bytes: int = 0
+    spill_categories: dict = field(default_factory=dict)
+    spilled_operators: list = field(default_factory=list)
+    #: Times the governor renegotiated this statement's reservation down
+    #: during the attempt, and the reservation size when it ended.
+    renegotiations: int = 0
+    reservation_pages: Optional[float] = None
 
     @property
     def reoptimized(self) -> bool:
@@ -134,6 +146,27 @@ class PopReport:
     @property
     def reoptimizations(self) -> int:
         return sum(1 for a in self.attempts if a.reoptimized)
+
+    @property
+    def spilled(self) -> bool:
+        """True when any attempt degraded to disk under memory pressure."""
+        return any(a.spilled for a in self.attempts)
+
+    @property
+    def spill_pages(self) -> float:
+        return sum(a.spill_pages for a in self.attempts)
+
+    @property
+    def spill_files(self) -> int:
+        return sum(a.spill_files for a in self.attempts)
+
+    @property
+    def spill_bytes(self) -> int:
+        return sum(a.spill_bytes for a in self.attempts)
+
+    @property
+    def renegotiations(self) -> int:
+        return sum(a.renegotiations for a in self.attempts)
 
     @property
     def cache_hit(self) -> bool:
@@ -173,6 +206,12 @@ class PopReport:
                 f"  {label}: {a.join_order} "
                 f"(exec {a.execution_units:.1f}u, opt {a.optimization_units:.1f}u)"
                 + tag
+            )
+        if self.spilled:
+            lines.append(
+                f"  memory: spilled {self.spill_pages:.1f} page(s) across "
+                f"{self.spill_files} file(s), "
+                f"{self.renegotiations} renegotiation(s)"
             )
         if self.retries or self.breaker_tripped or self.fallback_used:
             detail = f"  resilience: {self.retries} retry(ies)"
@@ -219,6 +258,7 @@ class PopDriver:
         faults=None,
         plan_cache=None,
         statement=None,
+        reservation=None,
     ) -> tuple[list[tuple], PopReport]:
         """Execute ``query`` and return (rows, report).
 
@@ -238,6 +278,11 @@ class PopDriver:
         ``statement.params``); on a hit the optimizer is skipped and the
         cached plan re-executed verbatim; on a miss the statement is
         optimized with bind-value peeking and the successful plan installed.
+
+        ``reservation`` is this statement's admitted slice of the memory
+        governor's budget (:class:`repro.governor.Reservation`, acquired
+        and released by ``Database.execute``); with ``config.memory`` set
+        it caps every operator grant and enables spill-based degradation.
         """
         config = self.config
         cost_model = self.optimizer.cost_model
@@ -288,6 +333,7 @@ class PopDriver:
                 stmt_span,
                 plan_cache,
                 statement,
+                reservation,
             )
         finally:
             if guard is not None:
@@ -349,6 +395,7 @@ class PopDriver:
         stmt_span,
         plan_cache=None,
         statement=None,
+        reservation=None,
     ) -> list[tuple]:
         """The optimize/execute loop of :meth:`run` (Figure 3), guarded."""
         tracer = self.tracer
@@ -486,8 +533,13 @@ class PopDriver:
                     if guard is not None
                     else None
                 ),
+                memory=config.memory,
+                reservation=reservation,
             )
             ctx.compensation = compensation
+            renegs_before = (
+                reservation.renegotiations if reservation is not None else 0
+            )
             if tracer is not None:
                 ctx.exec_span_id = tracer.start_span(
                     "pop.execute",
@@ -527,6 +579,7 @@ class PopDriver:
                 report.signal_complete = signal.complete
                 report.signal_reason = signal.reason
                 report.rows_emitted = ctx.rows_returned
+                self._harvest_memory(ctx, report, reservation, renegs_before)
                 attempts.append(report)
                 if tracer is not None:
                     tracer.event(
@@ -588,7 +641,7 @@ class PopDriver:
                     delivered.extend(
                         self._run_fallback(
                             query, params, meter, compensation, attempts,
-                            stmt_span, attempt,
+                            stmt_span, attempt, reservation,
                         )
                     )
                     return delivered
@@ -600,6 +653,7 @@ class PopDriver:
                 report.rows_emitted = ctx.rows_returned
                 report.failure = str(exc)
                 report.failure_class = failure_class(exc)
+                self._harvest_memory(ctx, report, reservation, renegs_before)
                 attempts.append(report)
                 decision = guard.on_failure(exc) if guard is not None else RAISE
                 self._observe_attempt(
@@ -628,7 +682,7 @@ class PopDriver:
                     delivered.extend(
                         self._run_fallback(
                             query, params, meter, compensation, attempts,
-                            stmt_span, attempt,
+                            stmt_span, attempt, reservation,
                         )
                     )
                     return delivered
@@ -638,6 +692,7 @@ class PopDriver:
             report.checkpoint_events = ctx.checkpoint_events
             report.actual_cards = _collect_actuals(ctx)
             report.rows_emitted = ctx.rows_returned
+            self._harvest_memory(ctx, report, reservation, renegs_before)
             attempts.append(report)
             delivered.extend(sink)
             # Record the completed run's exact cardinalities (no MV
@@ -662,6 +717,7 @@ class PopDriver:
         attempts: list,
         stmt_span,
         attempt: int,
+        reservation=None,
     ) -> list[tuple]:
         """Run the conservative safe plan (guaranteed to complete).
 
@@ -713,8 +769,13 @@ class PopDriver:
                 meter=meter,
                 tracer=tracer,
                 metrics=metrics,
+                memory=self.config.memory,
+                reservation=reservation,
             )
             ctx.compensation = compensation
+            renegs_before = (
+                reservation.renegotiations if reservation is not None else 0
+            )
             if tracer is not None:
                 ctx.exec_span_id = tracer.start_span(
                     "pop.execute", parent=span, checkpoints=0, fallback=True
@@ -735,6 +796,7 @@ class PopDriver:
             report.checkpoint_events = ctx.checkpoint_events
             report.actual_cards = _collect_actuals(ctx)
             report.rows_emitted = ctx.rows_returned
+            self._harvest_memory(ctx, report, reservation, renegs_before)
             attempts.append(report)
             self._observe_attempt(ctx, report, span, interrupted=False)
             return sink
@@ -855,6 +917,38 @@ class PopDriver:
             )
 
     # -------------------------------------------------------------- internals
+
+    def _harvest_memory(
+        self, ctx: ExecutionContext, report: AttemptReport, reservation,
+        renegotiations_before: int,
+    ) -> None:
+        """Fold one attempt's memory-governor accounting into its report.
+
+        Spill statistics survive the spill manager's cleanup (files are
+        already deleted by ``run_plan``'s ``finally`` when this runs), so
+        degradation stays reportable without leaking disk.
+        """
+        summary = ctx.spill_summary()
+        if summary is not None and summary["files"]:
+            report.spilled = True
+            report.spill_pages = summary["pages"]
+            report.spill_files = summary["files"]
+            report.spill_bytes = summary["bytes"]
+            report.spill_categories = summary["categories"]
+            report.spilled_operators = sorted(
+                {
+                    op.plan.KIND
+                    for op in ctx.operators
+                    if getattr(op, "spilled", False)
+                }
+            )
+            if self.metrics is not None:
+                self.metrics.inc("governor.spilled_attempts")
+        if reservation is not None:
+            report.reservation_pages = reservation.pages
+            report.renegotiations = (
+                reservation.renegotiations - renegotiations_before
+            )
 
     def _lint_attempt_plan(
         self,

@@ -79,6 +79,8 @@ class ExecutionContext:
         metrics=None,
         fault_injector=None,
         work_deadline: Optional[float] = None,
+        memory=None,
+        reservation=None,
     ):
         self.catalog = catalog
         self.params = params if params is not None else {}
@@ -115,6 +117,19 @@ class ExecutionContext:
         #: grant (1.0 = unconstrained).  Runtime state — mid-execution
         #: grant shrinks (e.g. chaos faults) lower it.
         self.mem_shrink = 1.0
+        #: Optional :class:`repro.core.config.MemoryPolicy`.  ``None``
+        #: keeps the legacy behavior: full grants, and a squeeze below one
+        #: page hard-fails with :class:`ResourceExhausted`.
+        self.memory = memory
+        #: Optional :class:`repro.governor.Reservation` — this statement's
+        #: slice of the shared budget.  Every grant is capped at its
+        #: *current* size, so mid-query renegotiation takes effect at the
+        #: next ``grant_pages`` call.
+        self.reservation = reservation
+        self._spill = None
+        #: Grants that came back smaller than requested: ``(category,
+        #: requested, granted)`` triples, harvested into the attempt report.
+        self.squeezed_grants: list[tuple[str, float, float]] = []
         #: All operator instances, registered at construction time, so the
         #: POP driver can harvest counters and materializations afterwards.
         self.operators: list[Operator] = []
@@ -124,23 +139,100 @@ class ExecutionContext:
     def register(self, op: "Operator") -> None:
         self.operators.append(op)
 
+    @property
+    def spill_enabled(self) -> bool:
+        """Whether squeezed operators may degrade to disk instead of
+        raising (requires an attached :class:`MemoryPolicy` with
+        ``spill_enabled``)."""
+        return self.memory is not None and self.memory.spill_enabled
+
+    @property
+    def spill(self):
+        """The attempt's :class:`repro.storage.spill.SpillManager`,
+        created on first use (fully streaming attempts never touch disk)."""
+        if self._spill is None:
+            from repro.storage.spill import SpillManager
+
+            self._spill = SpillManager(
+                self.meter, self.cost_params, self.tracer, self.metrics
+            )
+        return self._spill
+
+    def spill_summary(self) -> Optional[dict]:
+        """This attempt's spill accounting, or ``None`` if nothing spilled
+        (statistics survive :meth:`release_spill`)."""
+        if self._spill is None:
+            return None
+        return self._spill.summary()
+
+    def release_spill(self) -> None:
+        """Delete every spill file of this attempt (idempotent).
+
+        Called from ``run_plan``'s ``finally`` block — the success path
+        and every abort path release their disk footprint here (contract
+        rule ``spill-lifecycle``)."""
+        if self._spill is not None:
+            self._spill.close_all()
+
     def grant_pages(self, pages: float, category: str) -> float:
         """The effective memory grant for a ``pages``-page request.
 
-        Applies the current memory-pressure factor; a grant squeezed below
-        one page cannot make progress and raises
-        :class:`~repro.common.errors.ResourceExhausted` (a transient,
-        retryable failure).
+        The grant is capped at the statement's current reservation (when
+        the memory governor admitted it) and scaled by the legacy
+        memory-pressure factor.  A squeezed grant degrades or dies
+        depending on policy:
+
+        * spilling enabled — the grant is floored at the policy's
+          ``min_grant_pages`` and the operator spills the excess;
+        * spilling disabled (or no :class:`MemoryPolicy`) — a grant below
+          one page cannot make progress and raises
+          :class:`~repro.common.errors.ResourceExhausted` (transient,
+          retryable) carrying the category, requested pages, and effective
+          grant.
         """
-        if self.mem_shrink >= 1.0:
+        effective = pages
+        if self.reservation is not None:
+            effective = min(effective, self.reservation.pages)
+        if self.mem_shrink < 1.0:
+            effective *= self.mem_shrink
+        if effective >= pages:
             return pages
-        effective = pages * self.mem_shrink
+        if self.spill_enabled:
+            granted = min(pages, max(self.memory.min_grant_pages, effective))
+            self.squeezed_grants.append((category, pages, granted))
+            if self.metrics is not None:
+                self.metrics.inc("governor.grants_squeezed", category=category)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "governor.grant",
+                    span=self.exec_span_id,
+                    category=category,
+                    requested_pages=pages,
+                    granted_pages=granted,
+                )
+            return granted
         if effective < 1.0:
             raise ResourceExhausted(
                 f"{category} memory grant shrunk below one page "
-                f"({pages:g} -> {effective:.3f})"
+                f"(requested={pages:g} pages, effective grant={effective:.3f})",
+                category=category,
+                requested_pages=pages,
+                granted_pages=effective,
             )
         return effective
+
+    def apply_memory_pressure(self, factor: float) -> None:
+        """Shrink this statement's memory mid-execution.
+
+        With a governor reservation this is structured renegotiation —
+        the reservation shrinks (never below the policy floor) and the
+        next grant sees the smaller limit.  Without one it falls back to
+        the legacy blunt ``mem_shrink`` factor.
+        """
+        if self.reservation is not None:
+            self.reservation.shrink_to(self.reservation.pages * factor)
+        else:
+            self.mem_shrink = min(self.mem_shrink, factor)
 
     def log_checkpoint(self, event: CheckpointEvent) -> None:
         self.checkpoint_events.append(event)

@@ -1,7 +1,16 @@
-"""Join operators: nested-loop (index and rescan), hash, and sort-merge."""
+"""Join operators: nested-loop (index and rescan), hash, and sort-merge.
+
+Under the memory governor, :class:`HashJoinExec` degrades Grace-style: a
+build side that outgrows its grant is partitioned to spill files by a
+deterministic key hash, the probe side is partitioned the same way, and
+each partition pair is joined independently — recursing on partitions
+that are still too big, and falling back to block nested-loop (the NLJN
+flavor of the degradation ladder) past the recursion depth cap.
+"""
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional
 
 from repro.common.errors import ExecutionError
@@ -9,6 +18,17 @@ from repro.executor.base import ExecutionContext, Operator
 from repro.executor.scans import IndexScanExec
 from repro.expr.evaluate import compile_conjunction
 from repro.plan.physical import HashJoin, MergeJoin, NLJoin
+
+
+def _partition_of(key: tuple, depth: int, fanout: int) -> int:
+    """Deterministic partition assignment for a join key.
+
+    Uses ``crc32`` over the key's repr with a per-depth salt — Python's
+    builtin ``hash`` is randomized per process for strings, which would
+    make partition contents (and thus spill volume and row order)
+    irreproducible across runs.
+    """
+    return zlib.crc32(f"{depth}:{key!r}".encode()) % fanout
 
 
 class NLJoinExec(Operator):
@@ -95,6 +115,8 @@ class HashJoinExec(Operator):
         self._outer_row: Optional[tuple] = None
         self._outer_slots: list[int] = []
         self._inner_slots: list[int] = []
+        self.spilled = False
+        self._result_iter = None
 
     def _key_slots(self) -> None:
         outer_tables = self.plan.outer.properties.tables
@@ -112,6 +134,9 @@ class HashJoinExec(Operator):
         super().open()
         self._key_slots()
         p = self.ctx.cost_params
+        if self.ctx.spill_enabled:
+            self._open_grace()
+            return
         # Build phase: drain the inner completely (a materialization of
         # sorts, though not one the prototype reuses — matching the paper's
         # "current implementation does not reuse hash join builds").
@@ -137,13 +162,33 @@ class HashJoinExec(Operator):
         self._table = {}
         self._matches = []
         self._match_pos = 0
+        self._result_iter = None
 
     def _charge_spill(self, build_rows: int) -> None:
-        """Charge the multi-stage partitioning I/O the cost model predicts."""
+        """Charge the multi-stage partitioning I/O the cost model predicts.
+
+        Deliberately evaluated *after* the build side is fully
+        materialized, with a fresh ``grant_pages`` call: a grant that
+        shrank mid-build is seen here, so an overcommitted build is at
+        least priced and reported instead of passing silently (the
+        pre-spill stopgap; with a memory policy attached the same
+        condition triggers a real spill in :meth:`_open_grace`).
+        """
         cm = self.ctx.cost_model
         p = self.ctx.cost_params
         build_pages = cm.pages_for(build_rows)
-        if build_pages > self.ctx.grant_pages(p.hash_mem_pages, "hash"):
+        grant = self.ctx.grant_pages(p.hash_mem_pages, "hash")
+        if build_pages > grant:
+            if self.ctx.metrics is not None:
+                self.ctx.metrics.inc("executor.hash_overcommit")
+            if self.ctx.tracer is not None:
+                self.ctx.tracer.event(
+                    "hash.overcommit",
+                    span=self.ctx.exec_span_id,
+                    op_id=self.plan.op_id,
+                    build_pages=build_pages,
+                    granted_pages=grant,
+                )
             # Approximate the model's spill term with the build contribution
             # now; the probe contribution is charged per probe row below.
             self.ctx.meter.charge(2.0 * build_pages * p.io_page)
@@ -151,9 +196,165 @@ class HashJoinExec(Operator):
         else:
             self._probe_spill_per_row = 0.0
 
+    # ------------------------------------------------------- governed build
+
+    def _capacity_rows(self, grant: float) -> int:
+        return max(1, int(grant * self.ctx.cost_params.rows_per_page))
+
+    def _build_key(self, row: tuple) -> tuple:
+        return tuple(row[s] for s in self._inner_slots)
+
+    def _open_grace(self) -> None:
+        """Governed build: in-memory while it fits, Grace partitions when
+        it does not — and re-checked once the build side is complete, so a
+        reservation renegotiated mid-build cannot overcommit silently."""
+        p = self.ctx.cost_params
+        fanout = self.ctx.memory.spill_partitions
+        grant = self.ctx.grant_pages(p.hash_mem_pages, "hash")
+        capacity = self._capacity_rows(grant)
+        self.inner.open()
+        self._table = {}
+        build_parts = None
+        while True:
+            row = self.inner.next()
+            if row is None:
+                break
+            self.ctx.meter.charge(p.cpu_hash_build)
+            key = self._build_key(row)
+            if any(k is None for k in key):
+                continue
+            self._build_rows += 1
+            if build_parts is None:
+                self._table.setdefault(key, []).append(row)
+                if self._build_rows > capacity:
+                    build_parts = self._spill_table(fanout)
+            else:
+                build_parts[_partition_of(key, 0, fanout)].append(row)
+        self._build_complete = True
+        # Mid-build pressure re-check: the grant may have shrunk while the
+        # build was draining; a table that no longer fits spills now.
+        if build_parts is None and self._build_rows > 0:
+            grant_now = self.ctx.grant_pages(p.hash_mem_pages, "hash")
+            if self._build_rows > self._capacity_rows(grant_now):
+                build_parts = self._spill_table(fanout)
+                capacity = self._capacity_rows(grant_now)
+        self._probe_spill_per_row = 0.0
+        self.outer.open()
+        if build_parts is not None:
+            self.spilled = True
+            for part in build_parts:
+                part.close()
+            self._result_iter = self._grace_probe(build_parts, fanout, capacity)
+
+    def _spill_table(self, fanout: int):
+        """Move the in-memory build table into partition spill files."""
+        parts = [
+            self.ctx.spill.create("hash", f"hash-build-p{i}") for i in range(fanout)
+        ]
+        for key, rows in self._table.items():
+            part = parts[_partition_of(key, 0, fanout)]
+            for row in rows:
+                part.append(row)
+        self._table = {}
+        return parts
+
+    def _grace_probe(self, build_parts, fanout: int, capacity: int):
+        """Partition the probe side, then join partition pairs."""
+        p = self.ctx.cost_params
+        probe_parts = [
+            self.ctx.spill.create("hash", f"hash-probe-p{i}") for i in range(fanout)
+        ]
+        while True:
+            row = self.outer.next()
+            if row is None:
+                break
+            self.ctx.meter.charge(p.cpu_hash_probe)
+            key = tuple(row[s] for s in self._outer_slots)
+            if any(k is None for k in key):
+                continue
+            probe_parts[_partition_of(key, 0, fanout)].append(row)
+        for part in probe_parts:
+            part.close()
+        for build, probe in zip(build_parts, probe_parts):
+            yield from self._join_partition(build, probe, 1, fanout, capacity)
+
+    def _join_partition(self, build, probe, depth: int, fanout: int, capacity: int):
+        """Join one build/probe partition pair, recursing or degrading."""
+        if build.row_count == 0 or probe.row_count == 0:
+            build.delete()
+            probe.delete()
+            return
+        if build.row_count <= capacity:
+            yield from self._hash_partition(build, probe)
+        elif depth <= self.ctx.memory.max_recursion_depth:
+            # Re-partition both sides with a depth-salted hash and recurse.
+            sub_build = [
+                self.ctx.spill.create("hash", f"{build.label}.{i}") for i in range(fanout)
+            ]
+            sub_probe = [
+                self.ctx.spill.create("hash", f"{probe.label}.{i}") for i in range(fanout)
+            ]
+            for row in build.rows():
+                key = self._build_key(row)
+                sub_build[_partition_of(key, depth, fanout)].append(row)
+            for row in probe.rows():
+                key = tuple(row[s] for s in self._outer_slots)
+                sub_probe[_partition_of(key, depth, fanout)].append(row)
+            build.delete()
+            probe.delete()
+            for b, pr in zip(sub_build, sub_probe):
+                b.close()
+                pr.close()
+                yield from self._join_partition(b, pr, depth + 1, fanout, capacity)
+            return
+        else:
+            # Degradation ladder, last rung before the guard's safe plan:
+            # block nested-loop within the partition (NLJN flavor) — the
+            # build is processed one grant-sized chunk at a time, the probe
+            # file rescanned per chunk.
+            yield from self._block_join(build, probe, capacity)
+        build.delete()
+        probe.delete()
+
+    def _hash_partition(self, build, probe):
+        """Classic in-memory hash join of one partition pair."""
+        table: dict = {}
+        for row in build.rows():
+            table.setdefault(self._build_key(row), []).append(row)
+        slots = self._outer_slots
+        for prow in probe.rows():
+            for brow in table.get(tuple(prow[s] for s in slots), ()):
+                yield prow + brow
+
+    def _block_join(self, build, probe, capacity: int):
+        chunk: list[tuple] = []
+        for row in build.rows():
+            chunk.append(row)
+            if len(chunk) >= capacity:
+                yield from self._probe_chunk(chunk, probe)
+                chunk = []
+        if chunk:
+            yield from self._probe_chunk(chunk, probe)
+
+    def _probe_chunk(self, chunk: list[tuple], probe):
+        table: dict = {}
+        for row in chunk:
+            table.setdefault(self._build_key(row), []).append(row)
+        slots = self._outer_slots
+        for prow in probe.rows():
+            for brow in table.get(tuple(prow[s] for s in slots), ()):
+                yield prow + brow
+
     def next(self) -> Optional[tuple]:
         self.require_open()
         p = self.ctx.cost_params
+        if self._result_iter is not None:
+            row = next(self._result_iter, None)
+            if row is None:
+                self.finish()
+                return None
+            self.ctx.meter.charge(p.cpu_emit)
+            return self.emit(row)
         while True:
             if self._match_pos < len(self._matches):
                 inner_row = self._matches[self._match_pos]

@@ -122,4 +122,8 @@ def run_plan(
     finally:
         for op in ctx.operators:
             op.close()
+        # Spill files are attempt-scoped: success and every abort path
+        # (signal, fault, timeout) release them here (contract rule
+        # ``spill-lifecycle``).
+        ctx.release_spill()
     return rows

@@ -1,7 +1,21 @@
-"""SORT: the canonical materialization point (paper §3.1)."""
+"""SORT: the canonical materialization point (paper §3.1).
+
+Two execution modes:
+
+* **In-memory** (the default, and the only mode without a
+  :class:`~repro.core.config.MemoryPolicy`): drain, sort, stream — the
+  fully built result is promotable to a temp MV.
+* **External merge** (memory governor active): rows are collected into
+  grant-sized runs, each run sorted and spilled through
+  :mod:`repro.storage.spill`, and the output is a k-way merge of the run
+  files.  The merge is stable across runs in arrival order, so the output
+  ordering is *identical* to the in-memory stable sort — degradation
+  changes cost, never answers.
+"""
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Optional
 
@@ -14,12 +28,29 @@ def _sort_key(value):
     return (value is None, value)
 
 
+class _Reversed:
+    """Inverts comparisons, so descending keys compose into one ascending
+    composite key (usable by both ``sorted`` and ``heapq.merge``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return other.value == self.value
+
+
 class SortExec(Operator):
     """Drains its child at open, sorts, then streams the sorted rows.
 
-    The fully built result is exposed through :attr:`materialized_rows`, so
-    POP can promote it to a temp MV when a checkpoint fires later in the
-    plan (paper §2.3).
+    When the build fits its grant, the fully built result is exposed
+    through :attr:`materialized_rows`, so POP can promote it to a temp MV
+    when a checkpoint fires later in the plan (paper §2.3).  A spilled
+    sort exposes nothing — its rows live in run files, not memory.
     """
 
     def __init__(self, plan: Sort, ctx: ExecutionContext, child: Operator):
@@ -28,10 +59,27 @@ class SortExec(Operator):
         self._rows: Optional[list[tuple]] = None
         self._pos = 0
         self.build_complete = False
+        self.spilled = False
+        self._merge = None
+
+    def _composite_key(self):
+        slots = [self.plan.layout.slot(k) for k in self.plan.keys]
+        pairs = list(zip(slots, self.plan.ascending))
+
+        def key(row):
+            return tuple(
+                _sort_key(row[slot]) if asc else _Reversed(_sort_key(row[slot]))
+                for slot, asc in pairs
+            )
+
+        return key
 
     def open(self) -> None:
         super().open()
         self.child.open()
+        if self.ctx.spill_enabled:
+            self._open_external()
+            return
         p = self.ctx.cost_params
         rows: list[tuple] = []
         while True:
@@ -56,8 +104,54 @@ class SortExec(Operator):
         self._pos = 0
         self.build_complete = True
 
+    def _open_external(self) -> None:
+        """Governed build: grant-sized runs, spilled, k-way merged."""
+        p = self.ctx.cost_params
+        grant = self.ctx.grant_pages(p.sort_mem_pages, "sort")
+        capacity = max(1, int(grant * p.rows_per_page))
+        key = self._composite_key()
+        runs = []
+        buf: list[tuple] = []
+        n = 0
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            if len(buf) >= capacity:
+                # Flush only when another row actually arrives: an input
+                # that exactly fills the grant stays in memory.
+                buf.sort(key=key)
+                runs.append(
+                    self.ctx.spill.spill_rows("sort", buf, f"sort-run-{len(runs)}")
+                )
+                buf = []
+            buf.append(row)
+            n += 1
+        if n:
+            self.ctx.meter.charge(n * max(1.0, math.log2(n + 1)) * p.cpu_sort, "sort")
+        if runs:
+            # heapq.merge is stable across inputs in arrival order, and each
+            # run was sorted with the same composite key, so the merged
+            # stream equals the in-memory stable sort row for row.
+            if buf:
+                buf.sort(key=key)
+                runs.append(self.ctx.spill.spill_rows("sort", buf, "sort-run-final"))
+            self.spilled = True
+            self._merge = heapq.merge(*(run.rows() for run in runs), key=key)
+        else:
+            buf.sort(key=key)
+            self._rows = buf
+        self._pos = 0
+        self.build_complete = True
+
     def next(self) -> Optional[tuple]:
         self.require_open()
+        if self._merge is not None:
+            row = next(self._merge, None)
+            if row is not None:
+                return self.emit(row)
+            self.finish()
+            return None
         assert self._rows is not None
         if self._pos < len(self._rows):
             row = self._rows[self._pos]
@@ -68,4 +162,6 @@ class SortExec(Operator):
 
     @property
     def materialized_rows(self) -> Optional[list[tuple]]:
+        if self.spilled:
+            return None
         return self._rows if self.build_complete else None

@@ -3,6 +3,12 @@
 TEMPs are POP's second kind of materialization point; LCEM inserts
 TEMP/CHECK pairs on nested-loop outers, and the rescan NLJN method uses a
 TEMP inner so repeated scans read the materialized rows.
+
+Under the memory governor a TEMP whose input outgrows its grant keeps a
+grant-sized prefix in memory and overflows the rest to a spill file;
+``reset()`` rescans re-read the overflow from disk (each pass charged to
+the ``"spill"`` meter category), so NLJN rescans keep working on inputs
+that no longer fit.
 """
 
 from __future__ import annotations
@@ -22,11 +28,17 @@ class TempExec(Operator):
         self._rows: Optional[list[tuple]] = None
         self._pos = 0
         self.build_complete = False
+        self.spilled = False
+        self._overflow = None
+        self._overflow_iter = None
 
     def open(self) -> None:
         super().open()
         self.child.open()
         p = self.ctx.cost_params
+        if self.ctx.spill_enabled:
+            self._open_spilling()
+            return
         rows: list[tuple] = []
         while True:
             row = self.child.next()
@@ -41,9 +53,32 @@ class TempExec(Operator):
         self._pos = 0
         self.build_complete = True
 
+    def _open_spilling(self) -> None:
+        """Governed build: grant-sized memory prefix, disk overflow."""
+        p = self.ctx.cost_params
+        grant = self.ctx.grant_pages(p.temp_mem_pages, "temp")
+        capacity = max(1, int(grant * p.rows_per_page))
+        rows: list[tuple] = []
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            self.ctx.meter.charge(p.cpu_temp_insert, "temp")
+            if len(rows) < capacity:
+                rows.append(row)
+            else:
+                if self._overflow is None:
+                    self._overflow = self.ctx.spill.create("temp", "temp-overflow")
+                    self.spilled = True
+                self._overflow.append(row)
+        self._rows = rows
+        self._pos = 0
+        self.build_complete = True
+
     def reset(self) -> None:
         """Restart iteration over the materialized rows (NLJN rescans)."""
         self._pos = 0
+        self._overflow_iter = None
 
     def next(self) -> Optional[tuple]:
         self.require_open()
@@ -53,9 +88,18 @@ class TempExec(Operator):
             self._pos += 1
             self.ctx.meter.charge(self.ctx.cost_params.cpu_temp_scan, "temp")
             return self.emit(row)
+        if self._overflow is not None:
+            if self._overflow_iter is None:
+                self._overflow_iter = self._overflow.rows()
+            row = next(self._overflow_iter, None)
+            if row is not None:
+                self.ctx.meter.charge(self.ctx.cost_params.cpu_temp_scan, "temp")
+                return self.emit(row)
         self.finish()
         return None
 
     @property
     def materialized_rows(self) -> Optional[list[tuple]]:
+        if self.spilled:
+            return None
         return self._rows if self.build_complete else None

@@ -14,6 +14,10 @@ from repro.core.config import ResiliencePolicy
 from repro.resilience.faults import (
     ALL_KINDS,
     EXEC_KINDS,
+    ITERATOR,
+    MEM_SHRINK,
+    STALL,
+    STATS,
     FaultInjector,
     FaultPlan,
     FaultSpec,
@@ -24,6 +28,10 @@ from repro.resilience.guard import FALLBACK, RAISE, RETRY, ExecutionGuard
 __all__ = [
     "ALL_KINDS",
     "EXEC_KINDS",
+    "ITERATOR",
+    "STALL",
+    "MEM_SHRINK",
+    "STATS",
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",

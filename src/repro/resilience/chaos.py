@@ -294,14 +294,191 @@ def run_cache_stampede(
     return outcome
 
 
+def run_memory_pressure(
+    chaos_seed: int = 1,
+    threads: int = 6,
+    statements_per_thread: int = 2,
+    budget_fraction: float = 0.25,
+    verbose: bool = True,
+) -> QueryOutcome:
+    """K concurrent seeded queries against a deliberately undersized budget.
+
+    The governor's budget is set to ``budget_fraction`` of the *largest*
+    single plan's estimated working memory, then ``threads`` workers run
+    seeded DMV queries through it simultaneously.  The audit demands the
+    whole degradation story at once:
+
+    * every query returns oracle-identical rows (spilling changes cost,
+      never answers),
+    * zero ``ResourceExhausted`` (or any other) escapes — operators
+      degrade instead of dying,
+    * the reservation high-water mark never exceeds ``budget_pages``
+      (checked via the governor's peak gauge), and
+    * the pressure was real: spill work is visible in the governor's
+      accounting and ``governor.*`` metrics.
+    """
+    import random
+    import threading
+
+    from repro.core.config import MemoryPolicy
+    from repro.governor import estimate_plan_memory
+    from repro.sql.binder import bind_sql
+    from repro.workloads.dmv.generator import DmvScale, make_dmv_db
+    from repro.workloads.dmv.queries import dmv_queries
+
+    db = make_dmv_db(
+        scale=DmvScale(
+            owners=1200, cars=1600, accidents=400, violations=600,
+            insurance=1600, dealers=80, inspections=900, registrations=1600,
+        ),
+        seed=7,
+    )
+    # The seeded workload queries are highly selective (that is their job —
+    # they stress cardinality estimation), so alone they barely touch the
+    # budget.  Interleave full-table sorts and joins whose working sets
+    # cannot fit a squeezed grant: every thread runs at least one statement
+    # that *must* spill to finish.
+    heavy = [
+        ("heavy_sort_cars",
+         "SELECT c.c_id, c.c_make, c.c_weight FROM car c "
+         "ORDER BY c.c_weight, c.c_id"),
+        ("heavy_sort_owners",
+         "SELECT o.o_id, o.o_name, o.o_zip FROM owner o "
+         "ORDER BY o.o_zip, o.o_name, o.o_id"),
+        ("heavy_join_car_owner",
+         "SELECT o.o_name, c.c_model FROM car c, owner o "
+         "WHERE c.c_owner_id = o.o_id ORDER BY o.o_name, c.c_model"),
+        ("heavy_sort_insurance",
+         "SELECT i.i_id, i.i_premium FROM insurance i "
+         "ORDER BY i.i_premium, i.i_id"),
+    ]
+    queries = dmv_queries(chaos_seed)
+    rng = random.Random(query_seed(chaos_seed, "memory", "dmv"))
+    picks = [
+        heavy[rng.randrange(len(heavy))] if slot % 2 == 0
+        else queries[rng.randrange(len(queries))]
+        for slot in range(threads * statements_per_thread)
+    ]
+    config = PopConfig(
+        reuse_policy="never",
+        strict_analysis=_strict_analysis_requested(),
+    )
+
+    # Single-query oracles and per-plan memory estimates, ungoverned.
+    oracle: dict[str, list] = {}
+    estimates = []
+    for name, sql in picks:
+        if sql not in oracle:
+            oracle[sql] = canonical_rows(db.execute(sql, pop=config).rows)
+            estimates.append(
+                estimate_plan_memory(
+                    db.optimizer.optimize(bind_sql(sql, db.catalog)).plan,
+                    db.cost_params,
+                )
+            )
+
+    policy = MemoryPolicy(
+        budget_pages=max(8.0, budget_fraction * max(estimates)),
+        min_reservation_pages=4.0,
+        min_grant_pages=2.0,
+        max_queue_depth=threads * statements_per_thread,
+        queue_timeout_seconds=120.0,
+    )
+    metrics = MetricsRegistry()
+    governor = db.enable_memory_governor(policy=policy, metrics=metrics)
+
+    problems: list[str] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(threads)
+    spilled_flags: list[bool] = []
+
+    def worker(tid: int) -> None:
+        mine = picks[
+            tid * statements_per_thread: (tid + 1) * statements_per_thread
+        ]
+        barrier.wait()  # all workers hit the undersized budget at once
+        for name, sql in mine:
+            try:
+                result = db.execute(sql, pop=config, metrics=metrics)
+            except Exception as exc:
+                with lock:
+                    problems.append(
+                        f"thread {tid} {name}: escaped "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                return
+            with lock:
+                spilled_flags.append(result.report.spilled)
+                if canonical_rows(result.rows) != oracle[sql]:
+                    problems.append(
+                        f"thread {tid} {name}: rows diverge from oracle"
+                    )
+
+    pool = [
+        threading.Thread(target=worker, args=(tid,)) for tid in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    db.disable_memory_governor()
+
+    snap = governor.snapshot()
+    if snap["peak_pages"] > policy.budget_pages + 1e-9:
+        problems.append(
+            f"budget exceeded: peak {snap['peak_pages']:.1f} pages over "
+            f"budget {policy.budget_pages:.1f}"
+        )
+    if snap["rejected_total"]:
+        problems.append(
+            f"{snap['rejected_total']} statement(s) shed despite a queue "
+            f"sized for the whole run"
+        )
+    if not any(spilled_flags):
+        problems.append(
+            "undersized budget produced no spills — pressure not exercised"
+        )
+    if metrics.total("governor.spill_pages") <= 0.0:
+        problems.append("spill work invisible in governor.* metrics")
+    outcome = QueryOutcome(
+        workload="memory", query="dmv_concurrent", chaos_seed=chaos_seed,
+        ok=not problems, problems=problems,
+    )
+    if verbose:
+        status = "ok" if outcome.ok else "FAIL"
+        print(
+            f"  [{status}] memory/dmv_concurrent seed={chaos_seed} "
+            f"threads={threads} budget={policy.budget_pages:.0f}p "
+            f"peak={snap['peak_pages']:.0f}p "
+            f"spilled={sum(spilled_flags)}/{len(spilled_flags)} "
+            f"renegotiations={snap['renegotiation_total']} "
+            f"queued={snap['queued_total']}"
+        )
+        for problem in problems:
+            print(f"         - {problem}")
+    return outcome
+
+
 def run_chaos(
     workload: str = "all",
     seeds: tuple = (1, 2),
     limit: Optional[int] = None,
     verbose: bool = True,
+    scenario: str = "all",
 ) -> list[QueryOutcome]:
-    """Run the chaos campaign; returns one outcome per (query, seed)."""
+    """Run the chaos campaign; returns one outcome per (query, seed).
+
+    ``scenario`` selects the campaign: ``"faults"`` (seeded fault schedules
+    plus the cache stampede), ``"memory"`` (concurrent queries against an
+    undersized governor budget), or ``"all"``.
+    """
     outcomes: list[QueryOutcome] = []
+    if scenario == "memory":
+        for chaos_seed in seeds:
+            outcomes.append(
+                run_memory_pressure(chaos_seed=chaos_seed, verbose=verbose)
+            )
+        return outcomes
     for label, db, queries in _workload_databases(workload):
         if limit is not None:
             queries = queries[:limit]
@@ -327,12 +504,18 @@ def run_chaos(
                     )
                     for problem in outcome.problems:
                         print(f"         - {problem}")
-    # Concurrency case: a cache stampede on one statement shape.
+    # Concurrency cases: a cache stampede on one statement shape, and the
+    # memory-pressure scenario (many statements vs one undersized budget).
     if workload in ("dmv", "all"):
         for chaos_seed in seeds:
             outcomes.append(
                 run_cache_stampede(chaos_seed=chaos_seed, verbose=verbose)
             )
+        if scenario == "all":
+            for chaos_seed in seeds:
+                outcomes.append(
+                    run_memory_pressure(chaos_seed=chaos_seed, verbose=verbose)
+                )
     return outcomes
 
 
@@ -352,6 +535,11 @@ def main(argv: Optional[list] = None) -> int:
         "--limit", type=int, default=None,
         help="run only the first N queries of each workload",
     )
+    parser.add_argument(
+        "--scenario", choices=("faults", "memory", "all"), default="all",
+        help="faults = seeded fault schedules + cache stampede; "
+        "memory = concurrent queries vs an undersized governor budget",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     outcomes = run_chaos(
@@ -359,6 +547,7 @@ def main(argv: Optional[list] = None) -> int:
         seeds=tuple(args.seeds),
         limit=args.limit,
         verbose=not args.quiet,
+        scenario=args.scenario,
     )
     failed = [o for o in outcomes if not o.ok]
     total_faults = sum(o.faults_injected for o in outcomes)

@@ -9,8 +9,10 @@ plan through a statement execution:
   Nth ``next()`` call anywhere in the operator tree (a mid-pipeline crash);
 * **stall** — charge extra work units on the Nth ``next()`` call (a slow
   operator, against the deterministic work-unit clock);
-* **mem_shrink** — shrink every subsequent sort/hash/temp memory grant by a
-  factor, mid-execution (grants below one page raise
+* **mem_shrink** — apply memory pressure mid-execution: with a governor
+  reservation the statement's reservation is renegotiated down and the
+  operators spill; without one, every subsequent sort/hash/temp grant is
+  shrunk by the factor (grants below one page raise
   :class:`~repro.common.errors.ResourceExhausted`);
 * **stats** — corrupt (scale the row count of) or drop a table's catalog
   statistics before optimization, restored when the statement finishes.
@@ -231,7 +233,11 @@ class FaultInjector:
         if spec.kind == STALL:
             ctx.meter.charge(spec.payload, "fault.stall")
         elif spec.kind == MEM_SHRINK:
-            ctx.mem_shrink = min(ctx.mem_shrink, spec.payload)
+            # Structured renegotiation when the memory governor holds a
+            # reservation for this statement (the reservation shrinks, and
+            # operators degrade by spilling); the blunt context-wide
+            # ``mem_shrink`` factor otherwise.
+            ctx.apply_memory_pressure(spec.payload)
         elif spec.kind == ITERATOR:
             raise TransientError(
                 f"injected transient failure at {op.plan.KIND}"

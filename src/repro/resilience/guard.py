@@ -135,12 +135,19 @@ class ExecutionGuard:
                 if self.meter is not None:
                     self.meter.charge(backoff, "backoff")
                 if self.tracer is not None:
+                    # Memory failures carry their structured facts into the
+                    # classification event, so a starved grant is diagnosable
+                    # from trace output alone (category, requested pages,
+                    # effective grant).
                     self.tracer.event(
                         "guard.retry",
                         retry=self.retries,
                         failure_class=cls,
                         backoff_units=backoff,
                         error=str(exc),
+                        category=getattr(exc, "category", None),
+                        requested_pages=getattr(exc, "requested_pages", None),
+                        granted_pages=getattr(exc, "granted_pages", None),
                     )
                 if self.metrics is not None:
                     self.metrics.inc("resilience.retries", failure_class=cls)

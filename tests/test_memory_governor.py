@@ -1,0 +1,444 @@
+"""Tests for the memory governor: admission, reclaim, renegotiation,
+shedding, end-to-end degradation, and concurrent determinism.
+
+The concurrency suites push K threads of seeded workload queries through
+one governor with an undersized budget and assert row-level equality with
+single-query oracles, plus the budget invariant (the peak-reservation
+gauge never exceeds ``budget_pages``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.errors import (
+    ADMISSION,
+    AdmissionRejected,
+    ResourceExhausted,
+    TransientError,
+    failure_class,
+)
+from repro.core.config import MemoryPolicy, PopConfig
+from repro.core.database import Database
+from repro.executor.base import ExecutionContext
+from repro.governor import MemoryGovernor, estimate_plan_memory
+from repro.obs import MetricsRegistry
+from tests.conftest import canonical
+
+
+def policy(**overrides):
+    defaults = dict(
+        budget_pages=100.0,
+        min_reservation_pages=10.0,
+        max_queue_depth=4,
+        queue_timeout_seconds=5.0,
+    )
+    defaults.update(overrides)
+    return MemoryPolicy(**defaults)
+
+
+class TestMemoryPolicy:
+    def test_validation_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            MemoryPolicy(budget_pages=0.0)
+        with pytest.raises(ValueError):
+            MemoryPolicy(min_reservation_pages=-1.0)
+        with pytest.raises(ValueError):
+            MemoryPolicy(spill_partitions=1)
+        with pytest.raises(ValueError):
+            MemoryPolicy(max_recursion_depth=-1)
+
+
+class TestAdmission:
+    def test_admit_and_release(self):
+        gov = MemoryGovernor(policy())
+        res = gov.admit(40.0, label="q1")
+        assert res.pages == 40.0
+        assert gov.used_pages() == 40.0
+        res.release()
+        res.release()  # idempotent
+        assert gov.used_pages() == 0.0
+
+    def test_request_clamped_to_floor_and_budget(self):
+        gov = MemoryGovernor(policy())
+        tiny = gov.admit(0.0)
+        assert tiny.pages == 10.0  # floor
+        tiny.release()
+        huge = gov.admit(1e9)
+        assert huge.pages == 100.0  # whole budget
+        huge.release()
+
+    def test_queue_admits_after_release(self):
+        gov = MemoryGovernor(policy(min_reservation_pages=60.0))
+        first = gov.admit(100.0)
+        admitted = []
+
+        def waiter():
+            res = gov.admit(80.0)
+            admitted.append(res)
+            res.release()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        # The waiter cannot fit even after reclaim (floor 60 < ask 80
+        # against a 100-page budget with 100 reserved -> reclaim frees 40).
+        first.release()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert len(admitted) == 1
+        assert gov.queued_total == 1
+
+    def test_full_queue_sheds_with_classified_error(self):
+        gov = MemoryGovernor(policy(max_queue_depth=0, min_reservation_pages=100.0))
+        gov.admit(100.0)
+        with pytest.raises(AdmissionRejected) as err:
+            gov.admit(50.0, label="victim")
+        exc = err.value
+        assert exc.requested_pages == 100.0  # clamped ask
+        assert exc.budget_pages == 100.0
+        assert exc.queue_depth == 0
+        assert failure_class(exc) == ADMISSION
+        # Deliberately not transient: the guard must not retry a shed
+        # statement into the same saturated governor.
+        assert not isinstance(exc, TransientError)
+
+    def test_wait_timeout_sheds(self):
+        gov = MemoryGovernor(
+            policy(queue_timeout_seconds=0.05, min_reservation_pages=100.0)
+        )
+        gov.admit(100.0)
+        with pytest.raises(AdmissionRejected, match="timed out"):
+            gov.admit(100.0)
+
+
+class TestRenegotiation:
+    def test_reclaim_shrinks_largest_first_to_floor(self):
+        gov = MemoryGovernor(policy())
+        big = gov.admit(70.0)
+        small = gov.admit(30.0)
+        seen = []
+        big.on_shrink(lambda res, pages: seen.append(pages))
+        third = gov.admit(30.0)  # forces a 30-page reclaim
+        assert third.pages == 30.0
+        assert big.pages == 40.0  # shrunk; small untouched
+        assert small.pages == 30.0
+        assert seen == [40.0]
+        assert big.renegotiations == 1
+        assert gov.renegotiation_total == 1
+
+    def test_voluntary_shrink_floors_at_policy_minimum(self):
+        gov = MemoryGovernor(policy())
+        res = gov.admit(50.0)
+        freed = res.shrink_to(1.0)
+        assert res.pages == 10.0
+        assert freed == 40.0
+        assert res.shrink_to(50.0) == 0.0  # growing is not renegotiation
+
+    def test_peak_gauge_tracks_high_water_mark(self):
+        metrics = MetricsRegistry()
+        gov = MemoryGovernor(policy(), metrics=metrics)
+        a = gov.admit(60.0)
+        b = gov.admit(40.0)
+        a.release()
+        b.release()
+        snap = gov.snapshot()
+        assert snap["peak_pages"] == 100.0
+        assert snap["used_pages"] == 0.0
+        assert metrics.get("governor.peak_pages") == 100.0
+        assert metrics.total("governor.admitted") == 2
+
+
+class TestGrantPlumbing:
+    def test_resource_exhausted_carries_structured_fields(self):
+        # Satellite: the legacy hard-failure must name the category, the
+        # requested pages, and the effective grant.
+        ctx = ExecutionContext(Database().catalog)
+        ctx.mem_shrink = 1 / 256.0
+        with pytest.raises(ResourceExhausted) as err:
+            ctx.grant_pages(128.0, "sort")
+        exc = err.value
+        assert exc.category == "sort"
+        assert exc.requested_pages == 128.0
+        assert exc.granted_pages == pytest.approx(0.5)
+        assert "sort" in str(exc)
+        assert "requested=128" in str(exc)
+
+    def test_reservation_caps_grants_and_pressure_renegotiates(self):
+        gov = MemoryGovernor(policy())
+        res = gov.admit(50.0)
+        ctx = ExecutionContext(
+            Database().catalog, memory=gov.policy, reservation=res
+        )
+        assert ctx.grant_pages(40.0, "sort") == 40.0  # fits: exact
+        granted = ctx.grant_pages(128.0, "hash")
+        assert granted == 50.0  # capped at the reservation
+        assert ctx.squeezed_grants == [("hash", 128.0, 50.0)]
+        ctx.apply_memory_pressure(0.5)
+        assert res.pages == 25.0  # structured shrink, not mem_shrink
+        assert ctx.mem_shrink == 1.0
+        assert ctx.grant_pages(128.0, "hash") == 25.0
+
+
+def _estimate(db, sql):
+    from repro.sql.binder import bind_sql
+
+    plan = db.optimizer.optimize(bind_sql(sql, db.catalog)).plan
+    return estimate_plan_memory(plan, db.cost_params)
+
+
+class TestEstimate:
+    def test_streaming_plan_needs_nothing(self, tpch_db):
+        sql = "SELECT r.r_name FROM region r WHERE r.r_regionkey = 1"
+        assert _estimate(tpch_db, sql) == 0.0
+
+    def test_sort_plan_needs_pages(self, tpch_db):
+        sql = (
+            "SELECT l.l_orderkey, l.l_quantity FROM lineitem l "
+            "ORDER BY l.l_quantity, l.l_orderkey"
+        )
+        est = _estimate(tpch_db, sql)
+        assert 0.0 < est <= float(tpch_db.cost_params.sort_mem_pages)
+
+
+@pytest.fixture
+def governed(request):
+    """Attach a governor to a session workload db; always detach after."""
+
+    def attach(db, **kwargs):
+        governor = db.enable_memory_governor(**kwargs)
+        request.addfinalizer(db.disable_memory_governor)
+        return governor
+
+    return attach
+
+
+class TestEndToEnd:
+    def test_workloads_complete_at_quarter_memory(
+        self, tpch_db, dmv_db, governed
+    ):
+        """Acceptance: at 25% of estimated memory, every workload query
+        still returns oracle-identical rows by spilling — zero
+        ResourceExhausted escapes."""
+        from repro.workloads.dmv.queries import dmv_queries
+        from repro.workloads.tpch.queries import TPCH_QUERIES
+
+        config = PopConfig(reuse_policy="never")
+        suites = [
+            (tpch_db, list(TPCH_QUERIES.items())),
+            (dmv_db, dmv_queries(7)),
+        ]
+        spilled_somewhere = False
+        for db, queries in suites:
+            for name, sql in queries:
+                oracle = canonical(db.execute(sql, pop=config).rows)
+                estimate = _estimate(db, sql)
+                db.enable_memory_governor(
+                    policy=MemoryPolicy(
+                        budget_pages=max(2.0, 0.25 * estimate),
+                        min_reservation_pages=1.0,
+                        min_grant_pages=1.0,
+                    )
+                )
+                try:
+                    result = db.execute(sql, pop=config)
+                finally:
+                    db.disable_memory_governor()
+                assert canonical(result.rows) == oracle, name
+                spilled_somewhere = spilled_somewhere or result.report.spilled
+        assert spilled_somewhere
+
+    def test_report_carries_spill_and_reservation_facts(self, dmv_db, governed):
+        governed(
+            dmv_db,
+            policy=MemoryPolicy(
+                budget_pages=4.0, min_reservation_pages=1.0, min_grant_pages=1.0
+            ),
+        )
+        sql = (
+            "SELECT c.c_id, c.c_make, c.c_weight FROM car c "
+            "ORDER BY c.c_weight, c.c_id"
+        )
+        result = dmv_db.execute(sql, pop=PopConfig(reuse_policy="never"))
+        report = result.report
+        assert report.spilled
+        assert report.spill_pages > 0.0
+        assert report.spill_files > 0
+        assert report.spill_bytes > 0
+        assert "SORT" in report.attempts[-1].spilled_operators
+        assert report.attempts[-1].reservation_pages == 4.0
+        assert report.attempts[-1].spill_categories.get("sort", 0.0) > 0.0
+        assert "spilled" in report.summary()
+        snap = dmv_db.memory_governor.snapshot()
+        assert snap["spill_files_total"] == report.spill_files
+
+    def test_mem_shrink_fault_renegotiates_reservation(self, dmv_db, governed):
+        # A mid-build shrink is seen by the hash join's post-build
+        # overcommit re-check: the build fit its original grant, no
+        # longer fits the renegotiated one, and spills instead of
+        # passing silently.
+        from repro.resilience import MEM_SHRINK, FaultPlan, FaultSpec
+
+        governed(dmv_db, budget_pages=512.0)
+        sql = (
+            "SELECT o.o_name, c.c_model FROM car c, owner o "
+            "WHERE c.c_owner_id = o.o_id ORDER BY o.o_name, c.c_model"
+        )
+        config = PopConfig(reuse_policy="never")
+        oracle = canonical(dmv_db.execute(sql, pop=config).rows)
+        faults = FaultPlan(
+            [FaultSpec(MEM_SHRINK, trigger_at=40, payload=0.001)]
+        )
+        result = dmv_db.execute(sql, pop=config, faults=faults)
+        assert canonical(result.rows) == oracle
+        report = result.report
+        assert report.renegotiations >= 1
+        assert report.spilled  # pressure forced the build to disk
+        assert "HSJOIN" in report.attempts[-1].spilled_operators
+        assert report.attempts[-1].reservation_pages < 512.0
+
+
+QUERY_POOL = [
+    ("sort_cars",
+     "SELECT c.c_id, c.c_make, c.c_weight FROM car c "
+     "ORDER BY c.c_weight, c.c_id"),
+    ("join_car_owner",
+     "SELECT o.o_name, c.c_model FROM car c, owner o "
+     "WHERE c.c_owner_id = o.o_id ORDER BY o.o_name, c.c_model"),
+    ("sort_insurance",
+     "SELECT i.i_id, i.i_premium FROM insurance i "
+     "ORDER BY i.i_premium, i.i_id"),
+    ("filter_only",
+     "SELECT c.c_id FROM car c WHERE c.c_make = 'MAKE0'"),
+]
+
+
+class TestConcurrentDeterminism:
+    THREADS = 4
+    PER_THREAD = 2
+
+    def test_threads_match_oracle_and_respect_budget(self, dmv_db, governed):
+        import random
+
+        config = PopConfig(reuse_policy="never")
+        oracle = {
+            sql: canonical(dmv_db.execute(sql, pop=config).rows)
+            for _, sql in QUERY_POOL
+        }
+        rng = random.Random(20260806)
+        picks = [
+            QUERY_POOL[rng.randrange(len(QUERY_POOL))]
+            for _ in range(self.THREADS * self.PER_THREAD)
+        ]
+        metrics = MetricsRegistry()
+        budget = 8.0
+        governed(
+            dmv_db,
+            policy=MemoryPolicy(
+                budget_pages=budget,
+                min_reservation_pages=2.0,
+                min_grant_pages=1.0,
+                max_queue_depth=self.THREADS * self.PER_THREAD,
+                queue_timeout_seconds=60.0,
+            ),
+            metrics=metrics,
+        )
+        governor = dmv_db.memory_governor
+        barrier = threading.Barrier(self.THREADS)
+        problems: list[str] = []
+        lock = threading.Lock()
+
+        def worker(tid):
+            mine = picks[tid * self.PER_THREAD:(tid + 1) * self.PER_THREAD]
+            barrier.wait()
+            for name, sql in mine:
+                try:
+                    rows = canonical(dmv_db.execute(sql, pop=config).rows)
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    with lock:
+                        problems.append(f"{tid}/{name}: {exc!r}")
+                    return
+                if rows != oracle[sql]:
+                    with lock:
+                        problems.append(f"{tid}/{name}: diverged")
+
+        pool = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(self.THREADS)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(timeout=120.0)
+        assert problems == []
+        snap = governor.snapshot()
+        assert snap["peak_pages"] <= budget + 1e-9
+        assert snap["admitted_total"] == self.THREADS * self.PER_THREAD
+        assert snap["rejected_total"] == 0
+        assert metrics.get("governor.peak_pages") <= budget + 1e-9
+
+    def test_chaos_memory_scenario_passes(self):
+        from repro.resilience.chaos import run_memory_pressure
+
+        outcome = run_memory_pressure(chaos_seed=1, threads=4, verbose=False)
+        assert outcome.ok, outcome.problems
+
+
+class TestCli:
+    def _shell(self, db):
+        import io
+
+        from repro.cli import Shell
+
+        out = io.StringIO()
+        return Shell(db=db, out=out), out
+
+    def _db(self):
+        db = Database()
+        db.create_table("t", [("a", "int"), ("s", "str")])
+        db.insert("t", [(i, f"s{i % 7}") for i in range(300)])
+        db.runstats()
+        return db
+
+    def test_memory_meta_command_snapshot(self):
+        shell, out = self._shell(self._db())
+        shell.run(
+            [
+                "\\memory",
+                "\\memory on 2",
+                "SELECT t.a, t.s FROM t ORDER BY t.s, t.a;",
+                "\\memory",
+                "\\memory off",
+            ]
+        )
+        text = out.getvalue()
+        assert "memory governor is off" in text
+        assert "memory governor on (budget 2 pages)" in text
+        assert "budget 2 pages" in text
+        assert "admitted=1" in text
+        assert "spilled:" in text
+        assert "memory governor off" in text
+
+    def test_memory_meta_usage(self):
+        shell, out = self._shell(self._db())
+        shell.run(["\\memory on nope", "\\memory nonsense"])
+        text = out.getvalue()
+        assert "usage: \\memory on [BUDGET_PAGES]" in text
+        assert "usage: \\memory [on [BUDGET_PAGES]|off]" in text
+
+    def test_chaos_mem_mode(self):
+        shell, out = self._shell(self._db())
+        shell.run(
+            [
+                "\\chaos mem 9",
+                "\\chaos",
+                "SELECT t.a FROM t WHERE t.a < 50;",
+                "\\chaos off",
+            ]
+        )
+        text = out.getvalue()
+        assert "chaos on (memory pressure, seed 9)" in text
+        assert "(memory pressure)" in text
+        assert "chaos off" in text
+        assert "error" not in text
