@@ -1,0 +1,135 @@
+"""Profiler reconciliation and robustness-map artifacts (profile smoke).
+
+Runs one TPC-H and one DMV query under the live per-operator profiler and
+checks the accounting identity the profiler is built on: the sum of
+per-operator *exclusive* work units must equal the attempt's metered
+execution units (every meter charge happens inside exactly one wrapped
+operator frame), within 1%.
+
+Each query then gets a :class:`repro.obs.RobustnessMap` — the final plan
+re-costed over a cardinality grid swept around its join edges' validity
+ranges (Markl et al. §5; the cost-surface view of robustness follows
+Graefe's robust-plan work).  The JSON surface and ASCII heatmap land in
+``benchmarks/results/`` as CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench.harness import run_once
+from repro.bench.reporting import format_table, publish, results_dir
+from repro.obs import ProgressEstimator, RobustnessMap
+from repro.workloads.dmv.queries import dmv_queries
+from repro.workloads.tpch.queries import TPCH_QUERIES
+
+#: Profile self-time totals must reconcile with the WorkMeter within this.
+RECONCILE_TOLERANCE = 0.01
+
+DMV_QUERY = "zip_inspection_rescan_0"
+
+
+def _measure(db, name, sql):
+    progress = ProgressEstimator()
+    outcome = run_once(db, sql, profile=True, progress=progress)
+    report = outcome.report
+    assert report.profiled, f"{name}: profiler attached but no profiles"
+    attempts = []
+    for i, attempt in enumerate(report.attempts):
+        self_units = sum(p.self_units for p in (attempt.profiles or []))
+        metered = attempt.execution_units
+        drift = (
+            abs(self_units - metered) / metered if metered > 0 else 0.0
+        )
+        attempts.append(
+            {
+                "attempt": i,
+                "operators": len(attempt.profiles or []),
+                "self_units": self_units,
+                "metered_units": metered,
+                "drift": drift,
+            }
+        )
+    rmap = RobustnessMap(report.final_plan, db.optimizer.cost_model)
+    surface = rmap.compute()
+    return {
+        "query": name,
+        "rows": outcome.rows,
+        "units": outcome.units,
+        "attempts": attempts,
+        "progress_fraction": progress.fraction,
+        "map": rmap,
+        "fragility": surface["fragility"],
+    }
+
+
+def _publish_artifacts(results):
+    """Write the JSON surfaces and heatmaps CI uploads as artifacts."""
+    out = results_dir()
+    for r in results:
+        base = os.path.join(out, f"robustness_map_{r['query']}")
+        with open(base + ".json", "w") as f:
+            f.write(r["map"].to_json())
+        with open(base + ".txt", "w") as f:
+            f.write(r["map"].heatmap() + "\n")
+    summary = {
+        r["query"]: {
+            "rows": r["rows"],
+            "units": r["units"],
+            "fragility": r["fragility"],
+            "attempts": r["attempts"],
+        }
+        for r in results
+    }
+    with open(os.path.join(out, "profile_reconciliation.json"), "w") as f:
+        json.dump(summary, f, indent=2)
+
+
+def test_robustness_map_artifacts(tpch, dmv, benchmark):
+    queries = [
+        (tpch, "tpch_Q3", TPCH_QUERIES["Q3"]),
+        (dmv, DMV_QUERY, dict(dmv_queries())[DMV_QUERY]),
+    ]
+    results = benchmark.pedantic(
+        lambda: [_measure(db, name, sql) for db, name, sql in queries],
+        rounds=1,
+        iterations=1,
+    )
+    _publish_artifacts(results)
+    table = format_table(
+        ["query", "attempt", "ops", "self units", "metered", "drift", "fragility"],
+        [
+            (
+                r["query"],
+                a["attempt"],
+                a["operators"],
+                a["self_units"],
+                a["metered_units"],
+                f"{a['drift'] * 100:.4f}%",
+                r["fragility"],
+            )
+            for r in results
+            for a in r["attempts"]
+        ],
+    )
+    heatmaps = "\n\n".join(
+        f"[{r['query']}]\n{r['map'].heatmap()}" for r in results
+    )
+    publish(
+        "robustness_map",
+        "Profiler reconciliation + robustness maps",
+        table + "\n\n" + heatmaps,
+    )
+
+    for r in results:
+        # The accounting identity behind the profiler: every work unit is
+        # charged inside exactly one wrapped frame.
+        for a in r["attempts"]:
+            assert a["drift"] <= RECONCILE_TOLERANCE, (
+                f"{r['query']} attempt {a['attempt']}: profile self-time "
+                f"{a['self_units']:.3f}u disagrees with metered "
+                f"{a['metered_units']:.3f}u by {a['drift'] * 100:.2f}%"
+            )
+        assert r["fragility"] >= 1.0
+        assert r["progress_fraction"] == 1.0

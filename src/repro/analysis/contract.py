@@ -42,6 +42,13 @@ breaks the reproduction rather than crashing it:
   and ``run_plan`` must call ``release_spill`` in a ``finally`` block —
   the single cleanup point every exit (completion, re-optimization
   signal, injected fault, timeout) funnels through.
+* **profile-exclusive-time** — wall-clock sampling goes through the
+  profiler: ``wall_clock()`` may only be called (or imported) inside the
+  sanctioned timing sites (``repro/obs/``, the POP driver, the memory
+  governor).  An operator or optimizer module timing itself would be
+  invisible to the profiler's exclusive-time accounting, so its
+  per-operator self-time totals would no longer reconcile with the
+  driver's wall measurements.
 
 Pure stdlib (``ast``); no third-party linter is needed at runtime.
 """
@@ -66,6 +73,11 @@ FAULT_ISOLATION_ALLOWED = (
     "executor/runtime.py",
     "core/driver.py",
 )
+
+#: Where direct ``wall_clock()`` sampling is sanctioned: the observability
+#: package that defines it, the POP driver (per-attempt wall time), and the
+#: memory governor (admission-queue wait time).
+PROFILE_CLOCK_ALLOWED = ("obs/", "core/driver.py", "governor/__init__.py")
 
 #: The executor protocol methods and the delegation each override owes.
 _PROTOCOL_SUPER = {"open": "open", "close": "close"}
@@ -113,6 +125,7 @@ def check_source_tree(root: str) -> list[Finding]:
         findings.extend(check_bare_except(tree, rel))
         findings.extend(check_fault_isolation(tree, rel))
         findings.extend(check_spill_lifecycle(tree, rel))
+        findings.extend(check_profile_exclusive_time(tree, rel))
         if rel.endswith("optimizer/costmodel.py") or "cache/" in rel:
             # Cost arithmetic and the plan cache's admission test both
             # compare derived floats; == on them is always a bug.
@@ -130,6 +143,7 @@ def check_module(source: str, filename: str = "<snippet>") -> list[Finding]:
     findings.extend(check_bare_except(tree, filename))
     findings.extend(check_fault_isolation(tree, filename))
     findings.extend(check_spill_lifecycle(tree, filename))
+    findings.extend(check_profile_exclusive_time(tree, filename))
     findings.extend(check_float_eq(tree, filename, source=source))
     findings.extend(check_iterator_contract({filename: tree}))
     findings.extend(check_close_guarded({filename: tree}))
@@ -546,6 +560,66 @@ def check_spill_lifecycle(tree: ast.Module, rel: str) -> Iterator[Finding]:
                         file=rel,
                         line=node.lineno,
                     )
+
+
+# ------------------------------------------------- profile exclusive time
+
+
+def _profile_clock_allowed(rel: str) -> bool:
+    normalized = rel.replace(os.sep, "/")
+    return any(
+        normalized.startswith(p) or normalized.endswith(p)
+        for p in PROFILE_CLOCK_ALLOWED
+    )
+
+
+def check_profile_exclusive_time(tree: ast.Module, rel: str) -> Iterator[Finding]:
+    """``wall_clock()`` stays confined to the sanctioned timing sites.
+
+    The profiler attributes *exclusive* wall time by sampling
+    ``repro.obs.wall_clock`` around operator method frames; any module
+    outside ``repro/obs/``, the POP driver, or the memory governor that
+    samples the clock itself is timing work the profiler cannot see, which
+    breaks the reconciliation between per-operator self-time and the
+    driver's attempt wall time.
+    """
+    if _profile_clock_allowed(rel):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name == "wall_clock":
+                yield Finding(
+                    rule="profile-exclusive-time",
+                    severity=ERROR,
+                    message=(
+                        "wall_clock() called outside the sanctioned timing "
+                        "sites (repro/obs/, core/driver.py, "
+                        "governor/__init__.py): time measured here is "
+                        "invisible to the profiler's exclusive-time "
+                        "accounting"
+                    ),
+                    file=rel,
+                    line=node.lineno,
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if any(alias.name == "wall_clock" for alias in node.names):
+                yield Finding(
+                    rule="profile-exclusive-time",
+                    severity=ERROR,
+                    message=(
+                        "wall_clock imported outside the sanctioned timing "
+                        "sites: route timing through the profiler or the "
+                        "driver so self-time totals stay reconcilable"
+                    ),
+                    file=rel,
+                    line=node.lineno,
+                )
 
 
 # -------------------------------------------------------- fault isolation

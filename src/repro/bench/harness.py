@@ -48,12 +48,17 @@ def run_once(
     lc_above_hash_build: bool = False,
     metrics=None,
     tracer=None,
+    profile: bool = False,
+    progress=None,
 ) -> RunOutcome:
     """Execute a statement and summarize the outcome.
 
     ``metrics`` / ``tracer`` (see :mod:`repro.obs`) are optional; when a
     registry is given, its post-run snapshot is attached to the outcome.
-    Both default to off, leaving measured work units untouched.
+    ``profile=True`` attaches the live per-operator profiler (results land
+    on the report's attempts); ``progress`` is a
+    :class:`repro.obs.ProgressEstimator`.  All default to off, leaving
+    measured work units untouched.
     """
     query = db._to_query(statement)
     config = pop if pop is not None else PopConfig()
@@ -65,6 +70,8 @@ def run_once(
         lc_above_hash_build=lc_above_hash_build,
         tracer=tracer,
         metrics=metrics,
+        profile=profile,
+        progress=progress,
     )
     rows, report = driver.run(query, params=params)
     return RunOutcome(

@@ -55,7 +55,15 @@ meta commands:
                             grant shrinks (operators degrade by spilling)
   \\trace on|off [FILE]      record a JSONL execution trace (spans/events
                             for optimize, checkpoint placement, execution,
-                            re-optimization; default file repro_trace.jsonl)
+                            re-optimization; default file repro_trace.jsonl;
+                            profiled statements also export a
+                            .profile.jsonl alongside)
+  \\profile on|off|last      per-operator live profiler: exclusive time,
+                            est vs actual with q-error, spill pages;
+                            \\profile last re-prints the previous
+                            statement's profile table
+  \\progress                 show the last statement's progress history
+                            (work-unit budget, CHECK-point refinements)
   \\metrics [reset]          show (or reset) collected engine metrics
   \\q                        quit
 SQL statements end with ';'."""
@@ -91,6 +99,12 @@ class Shell:
         #: after every statement so one-shot runs still leave a trace.
         self.tracer: Optional[Tracer] = None
         self.trace_path: Optional[str] = None
+        #: ``\profile on`` attaches the live per-operator profiler (and a
+        #: progress estimator) to every statement; ``\profile last`` and
+        #: ``\progress`` re-print the most recent statement's results.
+        self.profile = False
+        self.last_report = None
+        self.last_progress = None
 
     # ---------------------------------------------------------------- output
 
@@ -199,9 +213,13 @@ class Shell:
         if not args:
             self.write("usage: \\analyze SELECT ...")
             return
+        from repro.obs import ProgressEstimator
         from repro.plan.analyze import explain_analyze
 
         sql = " ".join(args).rstrip(";")
+        # \analyze always profiles so the per-attempt plans carry exclusive
+        # time and spill annotations, whatever the \profile toggle says.
+        self.last_progress = ProgressEstimator(metrics=self.metrics)
         try:
             result = self.db.execute(
                 sql,
@@ -209,12 +227,16 @@ class Shell:
                 pop=self._config(),
                 tracer=self.tracer,
                 metrics=self.metrics,
+                profile=True,
+                progress=self.last_progress,
             )
         except ReproError as exc:
             self.write(self._format_error(exc))
             return
         finally:
             self._flush_trace()
+        self.last_report = result.report
+        self._flush_profiles()
         self.write(explain_analyze(result.report))
         self.write(
             f"{len(result.rows)} row(s), "
@@ -487,6 +509,44 @@ class Shell:
         else:
             self.write("usage: \\trace on|off [FILE]")
 
+    def _meta_profile(self, args) -> None:
+        if not args:
+            self.write(f"profiling is {'on' if self.profile else 'off'}")
+            return
+        if args[0] == "on":
+            self.profile = True
+            self.write("profiling on")
+        elif args[0] == "off":
+            self.profile = False
+            self.write("profiling off")
+        elif args[0] == "last":
+            from repro.obs import render_profile_table
+
+            report = self.last_report
+            if report is None or not report.profiled:
+                self.write(
+                    "(no profiled statement yet — \\profile on, then run one)"
+                )
+                return
+            for i, attempt in enumerate(report.attempts):
+                if not attempt.profiles:
+                    continue
+                self.write(f"--- attempt {i} ---")
+                self.write(render_profile_table(attempt.profiles))
+            self.write(
+                f"total self time: {report.profile_self_units:,.1f} work units"
+            )
+        else:
+            self.write("usage: \\profile on|off|last")
+
+    def _meta_progress(self, args) -> None:
+        if self.last_progress is None:
+            self.write(
+                "(no progress recorded — \\profile on, then run a statement)"
+            )
+            return
+        self.write(self.last_progress.render_text())
+
     def _meta_metrics(self, args) -> None:
         if args and args[0] == "reset":
             self.metrics.reset()
@@ -538,7 +598,37 @@ class Shell:
                 self.tracer = None
                 self.trace_path = None
 
+    def _profile_export_path(self) -> Optional[str]:
+        """The JSONL profile export path derived from the trace path."""
+        if self.trace_path is None:
+            return None
+        if self.trace_path.endswith(".jsonl"):
+            return self.trace_path[: -len(".jsonl")] + ".profile.jsonl"
+        return self.trace_path + ".profile.jsonl"
+
+    def _flush_profiles(self) -> None:
+        """Export the last report's operator profiles next to the trace."""
+        path = self._profile_export_path()
+        if (
+            path is None
+            or self.last_report is None
+            or not self.last_report.profiled
+        ):
+            return
+        from repro.obs import write_profiles_jsonl
+
+        try:
+            write_profiles_jsonl(path, self.last_report.attempts)
+        except OSError as exc:
+            self.write(f"error: cannot write profiles to {path}: {exc}")
+
     def execute_sql(self, sql: str) -> None:
+        progress = None
+        if self.profile:
+            from repro.obs import ProgressEstimator
+
+            progress = ProgressEstimator(metrics=self.metrics)
+            self.last_progress = progress
         try:
             result = self.db.execute(
                 sql,
@@ -547,12 +637,16 @@ class Shell:
                 tracer=self.tracer,
                 metrics=self.metrics,
                 faults=self._faults(),
+                profile=self.profile,
+                progress=progress,
             )
         except ReproError as exc:
             self.write(self._format_error(exc))
             return
         finally:
             self._flush_trace()
+        self.last_report = result.report
+        self._flush_profiles()
         widths = [max(len(c), 10) for c in result.columns]
         self.write("  ".join(c.ljust(w) for c, w in zip(result.columns, widths)))
         self.write("  ".join("-" * w for w in widths))

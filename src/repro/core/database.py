@@ -206,6 +206,8 @@ class Database:
         tracer=None,
         metrics=None,
         faults=None,
+        profile: bool = False,
+        progress=None,
     ) -> Result:
         """Run a statement; POP is enabled by default.
 
@@ -213,7 +215,11 @@ class Database:
         tracing and metric collection to this statement; both default to
         off, which costs nothing.  ``faults`` (a
         :class:`repro.resilience.FaultPlan`) runs the statement under
-        fault injection with the execution guard engaged.
+        fault injection with the execution guard engaged.  ``profile=True``
+        attaches the live per-operator profiler (results land on the
+        report's attempts); ``progress`` (a
+        :class:`repro.obs.ProgressEstimator`) receives work-budget updates
+        and CHECK-point refinements while the statement runs.
         """
         config = pop if pop is not None else PopConfig()
         stmt = None
@@ -248,7 +254,10 @@ class Database:
             reservation = governor.admit(requested, label=str(label)[:60])
             if config.memory is None:
                 config = replace(config, memory=governor.policy)
-        driver = PopDriver(self.optimizer, config, tracer=tracer, metrics=metrics)
+        driver = PopDriver(
+            self.optimizer, config, tracer=tracer, metrics=metrics,
+            profile=profile, progress=progress,
+        )
         feedback = self.learning.seed() if self.learning is not None else None
         try:
             rows, report = driver.run(

@@ -31,7 +31,7 @@ from repro.executor.base import (
 )
 from repro.executor.meter import WorkMeter
 from repro.executor.runtime import run_plan
-from repro.obs import wall_clock
+from repro.obs import ProfileCollector, wall_clock
 from repro.optimizer.fingerprint import plan_fingerprint
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.parametric import PeekingSelectivity
@@ -121,6 +121,12 @@ class AttemptReport:
     #: during the attempt, and the reservation size when it ended.
     renegotiations: int = 0
     reservation_pages: Optional[float] = None
+    #: Per-operator :class:`repro.obs.OpProfile` list when the statement
+    #: ran with profiling enabled (``None`` otherwise — zero cost off).
+    profiles: Optional[list] = None
+    #: Sum of exclusive profile units; reconciles with ``execution_units``
+    #: (the profile-smoke CI gate holds them within 1%).
+    profile_self_units: float = 0.0
 
     @property
     def reoptimized(self) -> bool:
@@ -174,6 +180,25 @@ class PopReport:
         return any(a.cache_hit for a in self.attempts)
 
     @property
+    def profiled(self) -> bool:
+        """True when any attempt carried the live profiler."""
+        return any(a.profiles is not None for a in self.attempts)
+
+    @property
+    def profile_self_units(self) -> float:
+        """Exclusive profile units summed across attempts."""
+        return sum(a.profile_self_units for a in self.attempts)
+
+    @property
+    def op_profiles(self) -> list:
+        """Every attempt's operator profiles, flattened in attempt order."""
+        profiles: list = []
+        for attempt in self.attempts:
+            if attempt.profiles:
+                profiles.extend(attempt.profiles)
+        return profiles
+
+    @property
     def final_plan(self) -> PlanOp:
         return self.attempts[-1].plan
 
@@ -213,6 +238,11 @@ class PopReport:
                 f"{self.spill_files} file(s), "
                 f"{self.renegotiations} renegotiation(s)"
             )
+        if self.profiled:
+            lines.append(
+                f"  profile: {len(self.op_profiles)} operator(s), "
+                f"{self.profile_self_units:.1f}u self time attributed"
+            )
         if self.retries or self.breaker_tripped or self.fallback_used:
             detail = f"  resilience: {self.retries} retry(ies)"
             if self.backoff_units:
@@ -235,6 +265,8 @@ class PopDriver:
         lc_above_hash_build: bool = False,
         tracer=None,
         metrics=None,
+        profile: bool = False,
+        progress=None,
     ):
         self.optimizer = optimizer
         self.catalog = optimizer.catalog
@@ -246,6 +278,13 @@ class PopDriver:
         self.tracer = tracer
         #: Optional :class:`repro.obs.MetricsRegistry`.
         self.metrics = metrics
+        #: When True, every attempt runs with a fresh
+        #: :class:`repro.obs.ProfileCollector` and its per-operator
+        #: profiles land on the :class:`AttemptReport`.
+        self.profile = profile
+        #: Optional :class:`repro.obs.ProgressEstimator`, fed the chosen
+        #: plan's work budget per attempt and every CHECK evaluation.
+        self.progress = progress
 
     # ------------------------------------------------------------------- run
 
@@ -535,6 +574,11 @@ class PopDriver:
                 ),
                 memory=config.memory,
                 reservation=reservation,
+                # One collector per attempt so re-optimized rounds stay
+                # separately attributable (None keeps the executor's
+                # profiling sites at a single comparison).
+                profiler=ProfileCollector(meter) if self.profile else None,
+                progress=self.progress,
             )
             ctx.compensation = compensation
             renegs_before = (
@@ -567,6 +611,8 @@ class PopDriver:
                     else None
                 ),
             )
+            if self.progress is not None:
+                self.progress.begin_attempt(plan, meter.snapshot())
             try:
                 run_plan(plan, ctx, sink)
             except ReoptimizationSignal as signal:
@@ -771,6 +817,8 @@ class PopDriver:
                 metrics=metrics,
                 memory=self.config.memory,
                 reservation=reservation,
+                profiler=ProfileCollector(meter) if self.profile else None,
+                progress=self.progress,
             )
             ctx.compensation = compensation
             renegs_before = (
@@ -791,6 +839,8 @@ class PopDriver:
                 execution_units=0.0,
                 fallback=True,
             )
+            if self.progress is not None:
+                self.progress.begin_attempt(plan, meter.snapshot())
             run_plan(plan, ctx, sink)
             report.execution_units = meter.snapshot() - units_before_exec
             report.checkpoint_events = ctx.checkpoint_events
@@ -922,12 +972,25 @@ class PopDriver:
         self, ctx: ExecutionContext, report: AttemptReport, reservation,
         renegotiations_before: int,
     ) -> None:
-        """Fold one attempt's memory-governor accounting into its report.
+        """Fold one attempt's memory-governor and profiling accounting into
+        its report (this helper runs on every exit path: signal, failure,
+        success, and fallback).
 
         Spill statistics survive the spill manager's cleanup (files are
         already deleted by ``run_plan``'s ``finally`` when this runs), so
         degradation stays reportable without leaking disk.
         """
+        if ctx.profiler is not None:
+            ctx.profiler.finalize(ctx)
+            report.profiles = ctx.profiler.profiles
+            report.profile_self_units = ctx.profiler.total_self_units()
+            if self.metrics is not None:
+                for prof in ctx.profiler.profiles:
+                    if prof.self_units:
+                        self.metrics.observe(
+                            "profile.self_units", prof.self_units,
+                            op=prof.kind,
+                        )
         summary = ctx.spill_summary()
         if summary is not None and summary["files"]:
             report.spilled = True
@@ -1001,6 +1064,10 @@ class PopDriver:
         """Flush one attempt's observability state (no-op when unconfigured)."""
         tracer = self.tracer
         metrics = self.metrics
+        if self.progress is not None:
+            self.progress.end_attempt(
+                ctx.meter.snapshot(), completed=not interrupted
+            )
         if metrics is not None:
             for op in ctx.operators:
                 if op.rows_out:

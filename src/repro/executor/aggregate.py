@@ -115,6 +115,12 @@ class GroupByExec(Operator):
         self.finish()
         return None
 
+    def profile_extras(self) -> dict:
+        return {
+            "groups": len(self._results) if self._results is not None else 0,
+            "aggregates": len(self.plan.aggregates),
+        }
+
 
 class DistinctExec(Operator):
     """Streaming hash-based duplicate elimination."""
@@ -148,3 +154,7 @@ class DistinctExec(Operator):
             self._seen.add(row)
             self.ctx.meter.charge(p.cpu_emit)
             return self.emit(row)
+
+    def profile_extras(self) -> dict:
+        # Captured at first close, before the set above is released.
+        return {"distinct_keys": len(self._seen)}

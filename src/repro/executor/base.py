@@ -81,6 +81,8 @@ class ExecutionContext:
         work_deadline: Optional[float] = None,
         memory=None,
         reservation=None,
+        profiler=None,
+        progress=None,
     ):
         self.catalog = catalog
         self.params = params if params is not None else {}
@@ -92,6 +94,14 @@ class ExecutionContext:
         self.tracer = tracer
         #: Optional :class:`repro.obs.MetricsRegistry` (same contract).
         self.metrics = metrics
+        #: Optional :class:`repro.obs.ProfileCollector`; armed by the
+        #: runtime over the built operator tree, consulted by operator
+        #: ``open``/``close`` behind single ``is None`` checks (same
+        #: zero-overhead-off contract as the tracer).
+        self.profiler = profiler
+        #: Optional :class:`repro.obs.ProgressEstimator`; fed every
+        #: checkpoint evaluation via :meth:`log_checkpoint`.
+        self.progress = progress
         #: Span id of the enclosing ``pop.execute`` span, set by the driver;
         #: operator spans and checkpoint events attach to it.
         self.exec_span_id: Optional[int] = None
@@ -236,6 +246,8 @@ class ExecutionContext:
 
     def log_checkpoint(self, event: CheckpointEvent) -> None:
         self.checkpoint_events.append(event)
+        if self.progress is not None:
+            self.progress.on_checkpoint(event)
         if self.metrics is not None:
             self.metrics.inc(
                 "check.evaluations",
@@ -286,6 +298,9 @@ class Operator:
     def open(self) -> None:
         """Prepare for iteration (children recursively)."""
         self._open = True
+        profiler = self.ctx.profiler
+        if profiler is not None:
+            profiler.on_open(self)
         tracer = self.ctx.tracer
         if tracer is not None:
             # Span covers open → close; u1-u0 includes the subtree's work
@@ -312,6 +327,9 @@ class Operator:
         ``__init__`` (contract rule ``close-guarded``).
         """
         self._open = False
+        profiler = self.ctx.profiler
+        if profiler is not None:
+            profiler.on_close(self)
         self.end_span()
 
     def end_span(self) -> None:
@@ -344,3 +362,14 @@ class Operator:
     def materialized_rows(self) -> Optional[list[tuple]]:
         """Fully built intermediate result, if this operator holds one."""
         return None
+
+    def profile_extras(self) -> dict:
+        """Operator-kind detail counters for the profiler.
+
+        Called once per attempt at profile finalization (never on the hot
+        path); overrides report whatever makes this operator's behavior
+        explainable — probe counts, build sizes, spill state.  Must be
+        safe on a half-opened operator (read only ``__init__``-assigned
+        attributes), like ``close``.
+        """
+        return {}

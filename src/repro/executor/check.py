@@ -120,6 +120,13 @@ class CheckExec(Operator):
             )
         return self.emit(row)
 
+    def profile_extras(self) -> dict:
+        return {
+            "flavor": self.plan.flavor,
+            "observed": self.count,
+            "evaluated": self._evaluated_once,
+        }
+
 
 class BufCheckExec(Operator):
     """The buffered CHECK of ECB (paper Fig. 8 / Fig. 10 right column)."""
@@ -201,3 +208,10 @@ class BufCheckExec(Operator):
             self.finish()
             return None
         return self.emit(row)
+
+    def profile_extras(self) -> dict:
+        return {
+            "flavor": "ECB",
+            "buffered_rows": len(self._buffer),
+            "decided": self._decided,
+        }

@@ -99,6 +99,9 @@ class NLJoinExec(Operator):
                 self.ctx.meter.charge(p.cpu_emit)
                 return self.emit(joined)
 
+    def profile_extras(self) -> dict:
+        return {"method": self.plan.method, "outer_rows": self.outer.rows_out}
+
 
 class HashJoinExec(Operator):
     """Hash join: builds on the inner child, probes with the outer."""
@@ -374,6 +377,14 @@ class HashJoinExec(Operator):
             self._matches = self._table.get(key, [])
             self._match_pos = 0
 
+    def profile_extras(self) -> dict:
+        return {
+            "build_rows": self._build_rows,
+            "build_complete": self._build_complete,
+            "probe_rows": self.outer.rows_out,
+            "spilled": self.spilled,
+        }
+
 
 class MergeJoinExec(Operator):
     """Sort-merge join over two key-ordered inputs.
@@ -465,3 +476,11 @@ class MergeJoinExec(Operator):
         super().close()
         self._output = []
         self._pos = 0
+
+    def profile_extras(self) -> dict:
+        # Captured at first close, before the buffer above is released.
+        return {
+            "merged_rows": len(self._output),
+            "outer_rows": self.outer.rows_out,
+            "inner_rows": self.inner.rows_out,
+        }

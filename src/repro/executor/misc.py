@@ -105,6 +105,9 @@ class ReturnExec(Operator):
         self.ctx.rows_returned += 1
         return self.emit(row)
 
+    def profile_extras(self) -> dict:
+        return {"limit": self.plan.limit}
+
 
 class AntiJoinExec(Operator):
     """ECDC compensation: multiset-subtract previously returned rows.
@@ -119,6 +122,7 @@ class AntiJoinExec(Operator):
     def __init__(self, plan: AntiJoin, ctx: ExecutionContext, child: Operator):
         super().__init__(plan, ctx)
         self.child = child
+        self.compensated = 0  #: rows consumed by the compensation multiset
         self.compensation: Counter = getattr(ctx, "compensation", None) or Counter()
 
     def open(self) -> None:
@@ -136,5 +140,9 @@ class AntiJoinExec(Operator):
             self.ctx.meter.charge(p.cpu_hash_probe)
             if self.compensation.get(row, 0) > 0:
                 self.compensation[row] -= 1
+                self.compensated += 1
                 continue
             return self.emit(row)
+
+    def profile_extras(self) -> dict:
+        return {"compensated_rows": self.compensated}

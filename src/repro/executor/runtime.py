@@ -106,6 +106,11 @@ def run_plan(
     root = build_executor(plan, ctx)
     if ctx.fault_injector is not None:
         ctx.fault_injector.arm(ctx)
+    # Profiling arms after fault injection so injected-fault overhead is
+    # attributed to the operator it fires in; like the injector this is
+    # the single mount point and costs nothing when no profiler is set.
+    if ctx.profiler is not None:
+        ctx.profiler.arm(ctx)
     rows = sink if sink is not None else []
     deadline = ctx.work_deadline
     try:

@@ -48,6 +48,13 @@ class TableScanExec(Operator):
         self.finish()
         return None
 
+    def profile_extras(self) -> dict:
+        return {
+            "table": self.plan.table,
+            "table_rows": self.table.row_count,
+            "table_pages": self.table.page_count,
+        }
+
 
 class IndexScanExec(Operator):
     """Index access, in two modes.
@@ -73,6 +80,7 @@ class IndexScanExec(Operator):
         self._rids: list[int] = []
         self._pos = 0
         self._filter = None
+        self.probes = 0  #: index probes issued (1 sarg, or 1 per rebind)
         self._fetch_charge = ctx.cost_model.fetch_cost_per_row(
             float(self.table.page_count)
         )
@@ -85,6 +93,7 @@ class IndexScanExec(Operator):
         if self.plan.correlation is None:
             self._rids = list(self._rids_for_sarg())
             self._pos = 0
+            self.probes += 1
             self.ctx.meter.charge(
                 self.ctx.cost_params.index_probe_io
                 * self.ctx.cost_params.random_io
@@ -126,6 +135,7 @@ class IndexScanExec(Operator):
     def rebind(self, key: Any) -> None:
         """Correlated mode: position on the matches for one probe key."""
         p = self.ctx.cost_params
+        self.probes += 1
         self.ctx.meter.charge(p.index_probe_io * p.random_io * p.io_page)
         self._rids = self.index.lookup(key)
         self._pos = 0
@@ -144,6 +154,13 @@ class IndexScanExec(Operator):
         if self.plan.correlation is None:
             self.finish()
         return None
+
+    def profile_extras(self) -> dict:
+        return {
+            "index": self.plan.index_name,
+            "probes": self.probes,
+            "correlated": self.plan.correlation is not None,
+        }
 
 
 class MVScanExec(Operator):
@@ -172,3 +189,6 @@ class MVScanExec(Operator):
                 return self.emit(row)
         self.finish()
         return None
+
+    def profile_extras(self) -> dict:
+        return {"mv": self.plan.mv_name, "mv_rows": len(self.mv.rows)}

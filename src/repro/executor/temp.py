@@ -103,3 +103,13 @@ class TempExec(Operator):
         if self.spilled:
             return None
         return self._rows if self.build_complete else None
+
+    def profile_extras(self) -> dict:
+        return {
+            "build_complete": self.build_complete,
+            "spilled": self.spilled,
+            "in_memory_rows": len(self._rows) if self._rows is not None else 0,
+            "overflow_rows": (
+                self._overflow.row_count if self._overflow is not None else 0
+            ),
+        }

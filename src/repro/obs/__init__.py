@@ -13,8 +13,18 @@ of ad hoc.  Two zero-dependency primitives:
   histograms with optional labels, snapshot-able as a plain dict and
   renderable as aligned text or Prometheus-style exposition.
 
-See ``docs/observability.md`` for the trace event catalog and the metric
-name registry.
+On top of these, the live profiling layer:
+
+* :class:`ProfileCollector` / :class:`OpProfile` — per-operator exclusive
+  (self) time in work units and wall seconds, rows in/out, q-error, and
+  spill attribution, collected by wrapping operator methods at arm time;
+* :class:`ProgressEstimator` — work-unit-weighted progress with CHECK-point
+  refinement, exposed as gauges and an optional callback;
+* :class:`RobustnessMap` — cost surfaces over a cardinality grid around a
+  plan's validity ranges (JSON + ASCII heatmap artifacts).
+
+See ``docs/observability.md`` for the trace event catalog, the metric
+name registry, and the profiling semantics.
 """
 
 from repro.obs.metrics import (
@@ -22,6 +32,14 @@ from repro.obs.metrics import (
     QERROR_BUCKETS,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    OpProfile,
+    ProfileCollector,
+    render_profile_table,
+    write_profiles_jsonl,
+)
+from repro.obs.progress import ProgressEstimator
+from repro.obs.robustness import RobustnessMap
 from repro.obs.trace import Tracer, read_jsonl, wall_clock
 
 __all__ = [
@@ -31,4 +49,10 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "QERROR_BUCKETS",
+    "OpProfile",
+    "ProfileCollector",
+    "ProgressEstimator",
+    "RobustnessMap",
+    "render_profile_table",
+    "write_profiles_jsonl",
 ]

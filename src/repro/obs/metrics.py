@@ -195,7 +195,20 @@ class MetricsRegistry:
         return "\n".join(lines)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format: backslash,
+    double quote, and line feed are the three characters that must be
+    escaped inside a quoted label value."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: tuple) -> str:
     if not labels:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+    return (
+        "{"
+        + ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in labels)
+        + "}"
+    )

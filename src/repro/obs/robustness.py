@@ -1,0 +1,276 @@
+"""Robustness maps: cost surfaces over cardinality perturbations.
+
+Validity ranges answer a binary question — *would re-optimization beat this
+plan at cardinality c?* — but robustness work (Graefe et al., "Visualizing
+the robustness of query execution") argues the full *shape* of the cost
+surface matters: a plan whose cost explodes just outside its range is
+fragile even if the range itself is wide.  This module sweeps a log-spaced
+cardinality grid around a chosen plan's most expensive join edges and
+recosts the plan at every grid point with the real cost model — including
+its sort/hash spill discontinuities, which is where fragility lives — and
+emits the surface as JSON (benchmark/CI artifact) and as an ASCII heatmap
+(``explain``-style terminal rendering).
+
+The recost is the optimizer's own arithmetic re-applied: each perturbed
+edge scales every cardinality above it in the plan, and every operator's
+local cost is re-derived from its (scaled) input/output cardinalities via
+the same ``*_cost`` functions the optimizer used.  Operators without a
+cardinality-parameterized cost function fall back to scaling their original
+local cost linearly with input growth — conservative, and exact at the
+estimate point.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+#: Character ramp for the heatmap, coldest (cheapest) to hottest.
+_RAMP = " .:-=+*#%@"
+
+_JOIN_KINDS = ("NLJOIN", "HSJOIN", "MSJOIN")
+
+
+def _join_edges(plan):
+    """Candidate (join, child_index, validity_range) edges of a plan.
+
+    Edges with a narrowed (non-trivial) validity range come first, ranked
+    by the join's estimated cost — the same edges CHECKs guard, and the
+    ones whose mis-estimation is most expensive.
+    """
+    narrowed = []
+    trivial = []
+    for op in plan.walk():
+        if op.KIND not in _JOIN_KINDS:
+            continue
+        ranges = getattr(op, "validity_ranges", None) or []
+        for idx, child in enumerate(op.children):
+            rng = ranges[idx] if idx < len(ranges) else None
+            entry = (float(op.est_cost), op, idx, rng)
+            if rng is not None and not rng.is_trivial:
+                narrowed.append(entry)
+            else:
+                trivial.append(entry)
+    narrowed.sort(key=lambda e: -e[0])
+    trivial.sort(key=lambda e: -e[0])
+    return narrowed + trivial
+
+
+def _factor_grid(est_card: float, rng, points: int) -> list[float]:
+    """Log-spaced multipliers spanning past the edge's validity bounds.
+
+    Defaults to [1/8, 8]; a narrowed bound widens the sweep to 2x beyond
+    it so the surface shows what lies outside the guaranteed region.  The
+    grid always contains the factor 1.0 (the estimate itself) exactly.
+    """
+    lo, hi = 0.125, 8.0
+    if rng is not None and est_card > 0:
+        if rng.low and rng.low > 0:
+            lo = min(lo, (rng.low / est_card) / 2.0)
+        if rng.high and math.isfinite(rng.high):
+            hi = max(hi, (rng.high / est_card) * 2.0)
+    span = math.log(hi / lo)
+    factors = [lo * math.exp(span * i / (points - 1)) for i in range(points)]
+    nearest = min(range(points), key=lambda i: abs(math.log(factors[i])))
+    factors[nearest] = 1.0
+    return factors
+
+
+def _local_cost(op, cm, in_cards: list[float], out_card: float) -> float:
+    """Re-derive one operator's local cost at perturbed cardinalities.
+
+    Uses the cost model's own functions wherever the operator kind has
+    one parameterized purely by cardinalities, so spill steps reappear at
+    the right grid points.
+    """
+    kind = op.KIND
+    if kind == "HSJOIN":
+        return cm.hash_join_cost(in_cards[0], in_cards[1], out_card)
+    if kind == "MSJOIN":
+        return cm.merge_join_cost(in_cards[0], in_cards[1], out_card, False, False)
+    if kind == "NLJOIN":
+        if getattr(op, "method", None) == "rescan":
+            return cm.nljn_rescan_cost(in_cards[0], in_cards[1], out_card)
+        # Index NLJN: per-probe cost depends on catalog detail not carried
+        # by the plan node; derive it from the plan's own local cost at the
+        # estimate and scale linearly with the outer (probe count).
+        base_outer = max(float(op.children[0].est_card), 1.0)
+        emit = float(op.est_card) * cm.params.cpu_emit
+        per_probe = max(float(op.local_cost) - emit, 0.0) / base_outer
+        return in_cards[0] * per_probe + out_card * cm.params.cpu_emit
+    if kind == "SORT":
+        return cm.sort_cost(in_cards[0])
+    if kind == "TEMP":
+        return cm.temp_cost(in_cards[0])
+    if kind == "GRPBY":
+        return cm.group_by_cost(in_cards[0], out_card)
+    if kind == "DISTINCT":
+        return cm.distinct_cost(in_cards[0], out_card)
+    if kind in ("CHECK", "BUFCHECK"):
+        return cm.check_cost(in_cards[0])
+    # Leaves and row-shufflers (scans, PROJECT, RETURN, HAVING, ANTIJOIN):
+    # scale the plan's local cost with input growth; exact at factor 1.
+    base_in = sum(float(c.est_card) for c in op.children)
+    now_in = sum(in_cards)
+    local = max(float(op.local_cost), 0.0)
+    if base_in <= 0 or not op.children:
+        return local
+    return local * (now_in / base_in)
+
+
+def _recost(plan, cm, scaling: dict[int, float]) -> float:
+    """Total plan cost with the edges in ``scaling`` (op_id -> factor)
+    perturbed; every ancestor's cardinalities scale multiplicatively."""
+
+    def visit(op):
+        total = 0.0
+        in_cards = []
+        mult = scaling.get(op.op_id, 1.0)
+        for child in op.children:
+            child_cost, child_mult = visit(child)
+            total += child_cost
+            in_cards.append(float(child.est_card) * child_mult)
+            mult *= child_mult
+        out_card = float(op.est_card) * mult
+        total += _local_cost(op, cm, in_cards, out_card)
+        return total, mult
+
+    return visit(plan)[0]
+
+
+class RobustnessMap:
+    """Cost surface of one plan over a cardinality grid (1 or 2 edges)."""
+
+    def __init__(self, plan, cost_model, points: int = 9, max_edges: int = 2):
+        self.plan = plan
+        self.cost_model = cost_model
+        self.points = max(int(points), 3)
+        self.max_edges = max(1, min(int(max_edges), 2))
+        self._result = None
+
+    def compute(self) -> dict:
+        """Sweep the grid; returns (and caches) the JSON-ready surface."""
+        if self._result is not None:
+            return self._result
+        picked = []
+        seen_children = set()
+        for _, join, idx, rng in _join_edges(self.plan):
+            child = join.children[idx]
+            if child.op_id in seen_children:
+                continue
+            seen_children.add(child.op_id)
+            picked.append((join, idx, child, rng))
+            if len(picked) >= self.max_edges:
+                break
+        edges = []
+        factor_axes = []
+        card_axes = []
+        for join, idx, child, rng in picked:
+            est = max(float(child.est_card), 1.0)
+            factors = _factor_grid(est, rng, self.points)
+            factor_axes.append(factors)
+            card_axes.append([est * f for f in factors])
+            edges.append(
+                {
+                    "join_op_id": join.op_id,
+                    "join": join.describe(),
+                    "edge_op_id": child.op_id,
+                    "edge": child.describe(),
+                    "est_card": est,
+                    "valid_low": rng.low if rng is not None else 0.0,
+                    "valid_high": (
+                        rng.high
+                        if rng is not None and math.isfinite(rng.high)
+                        else None
+                    ),
+                }
+            )
+        base_cost = _recost(self.plan, self.cost_model, {})
+        cost: list = []
+        if not picked:
+            cost = [[base_cost]]
+            factor_axes = [[1.0]]
+            card_axes = [[float(self.plan.est_card)]]
+        elif len(picked) == 1:
+            (_, _, child, _) = picked[0]
+            cost = [
+                [
+                    _recost(self.plan, self.cost_model, {child.op_id: f})
+                    for f in factor_axes[0]
+                ]
+            ]
+        else:
+            id0 = picked[0][2].op_id
+            id1 = picked[1][2].op_id
+            for f1 in factor_axes[1]:
+                cost.append(
+                    [
+                        _recost(
+                            self.plan, self.cost_model, {id0: f0, id1: f1}
+                        )
+                        for f0 in factor_axes[0]
+                    ]
+                )
+        flat = [c for row in cost for c in row]
+        max_cost = max(flat)
+        min_cost = min(flat)
+        self._result = {
+            "edges": edges,
+            "factors": factor_axes,
+            "cards": card_axes,
+            "base_cost": base_cost,
+            "cost": cost,
+            "min_cost": min_cost,
+            "max_cost": max_cost,
+            # Worst grid cost relative to the cost at the estimate: 1.0 is
+            # a perfectly flat (maximally robust) surface.
+            "fragility": max_cost / max(base_cost, 1e-9),
+        }
+        return self._result
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.compute(), indent=indent, sort_keys=True)
+
+    def heatmap(self) -> str:
+        """ASCII rendering: rows sweep edge 1 (if any), columns edge 0."""
+        result = self.compute()
+        lines = ["robustness map: plan cost over edge-cardinality grid"]
+        for axis, edge in enumerate(result["edges"]):
+            bound = (
+                f"validity=[{edge['valid_low']:.0f}, "
+                + (
+                    f"{edge['valid_high']:.0f}]"
+                    if edge["valid_high"] is not None
+                    else "inf)"
+                )
+            )
+            lines.append(
+                f"  {'x' if axis == 0 else 'y'}: {edge['join']} <- "
+                f"{edge['edge']} est={edge['est_card']:.0f} {bound}"
+            )
+        lo, hi = result["min_cost"], result["max_cost"]
+        span = math.log(hi / lo) if hi > lo > 0 else 0.0
+
+        def shade(value: float) -> str:
+            if span <= 0:
+                return _RAMP[0]
+            t = math.log(value / lo) / span
+            return _RAMP[min(int(t * (len(_RAMP) - 1)), len(_RAMP) - 1)]
+
+        col_factors = result["factors"][0]
+        row_factors = (
+            result["factors"][1] if len(result["factors"]) > 1 else [1.0]
+        )
+        for i, row in enumerate(result["cost"]):
+            label = f"{row_factors[i]:7.3f}x" if len(row_factors) > 1 else " " * 8
+            lines.append(f"  {label} |{''.join(shade(c) for c in row)}|")
+        marks = "".join(
+            "^" if f == 1.0 else " " for f in col_factors
+        )
+        lines.append(f"  {' ' * 8} |{marks}| (^ = estimate)")
+        lines.append(
+            f"  x factors {col_factors[0]:.3f}..{col_factors[-1]:.3f}, "
+            f"cost [{lo:.1f}, {hi:.1f}], "
+            f"fragility={result['fragility']:.2f}"
+        )
+        return "\n".join(lines)

@@ -15,8 +15,16 @@ from __future__ import annotations
 from repro.plan.physical import PlanOp
 
 
-def explain_analyze_plan(root: PlanOp, actual_cards: dict) -> str:
-    """Render a plan with per-operator estimated vs actual cardinalities."""
+def explain_analyze_plan(
+    root: PlanOp, actual_cards: dict, profiles: dict | None = None
+) -> str:
+    """Render a plan with per-operator estimated vs actual cardinalities.
+
+    ``profiles`` (op_id -> :class:`repro.obs.OpProfile`, optional) extends
+    each operator line with its *exclusive* runtime — self work units and
+    self wall milliseconds, children's time subtracted — plus its spill
+    page share when it degraded to disk.
+    """
     lines: list[str] = []
 
     def visit(op: PlanOp, depth: int) -> None:
@@ -32,6 +40,19 @@ def explain_analyze_plan(root: PlanOp, actual_cards: dict) -> str:
                 est = max(float(op.est_card), 1.0)
                 act = max(float(rows), 1.0)
                 qerror_text = f" q={max(est / act, act / est):.1f}"
+        profile_text = ""
+        prof = None
+        if profiles is not None:
+            # Profiles follow the checkpoint-event convention of storing
+            # operators without an assigned op_id (the RETURN root) as -1.
+            prof = profiles.get(op.op_id if op.op_id is not None else -1)
+        if prof is not None:
+            profile_text = (
+                f" self={prof.self_units:.2f}u"
+                f" wall={prof.self_wall * 1e3:.2f}ms"
+            )
+            if prof.spill_pages:
+                profile_text += f" spill={prof.spill_pages:.1f}p"
         err = ""
         if actual is not None and op.est_card > 0 and actual[0] > 0:
             ratio = actual[0] / op.est_card
@@ -39,7 +60,8 @@ def explain_analyze_plan(root: PlanOp, actual_cards: dict) -> str:
                 err = f"  <-- {ratio:.1f}x of estimate"
         lines.append(
             f"{indent}{op.describe()}  "
-            f"{{est={op.est_card:.1f} actual={actual_text}{qerror_text}}}{err}"
+            f"{{est={op.est_card:.1f} actual={actual_text}{qerror_text}"
+            f"{profile_text}}}{err}"
         )
         for child in op.children:
             visit(child, depth + 1)
@@ -52,7 +74,9 @@ def explain_analyze(report) -> str:
     """Render every attempt of a :class:`~repro.core.driver.PopReport`.
 
     Each optimize+execute round shows its plan with actual row counts, plus
-    the checkpoint that ended it (if any).
+    the checkpoint that ended it (if any).  Attempts that ran under the
+    live profiler additionally show per-operator exclusive time and spill
+    pages (see :func:`explain_analyze_plan`).
     """
     sections: list[str] = []
     for i, attempt in enumerate(report.attempts):
@@ -67,5 +91,10 @@ def explain_analyze(report) -> str:
         else:
             header += " (completed)"
         sections.append(header + " ---")
-        sections.append(explain_analyze_plan(attempt.plan, attempt.actual_cards))
+        profiles = None
+        if getattr(attempt, "profiles", None):
+            profiles = {p.op_id: p for p in attempt.profiles}
+        sections.append(
+            explain_analyze_plan(attempt.plan, attempt.actual_cards, profiles)
+        )
     return "\n".join(sections)

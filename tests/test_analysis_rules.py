@@ -555,6 +555,29 @@ class TestContractChecker:
         )
         assert check_module(source) == []
 
+    def test_wall_clock_call_flagged_outside_timing_sites(self):
+        findings = check_module(
+            "t0 = wall_clock()\n", filename="executor/sort.py"
+        )
+        assert [f.rule for f in findings] == ["profile-exclusive-time"]
+        assert "exclusive-time" in findings[0].message
+
+    def test_wall_clock_import_flagged_outside_timing_sites(self):
+        findings = check_module(
+            "from repro.obs import wall_clock\n",
+            filename="optimizer/optimizer.py",
+        )
+        assert [f.rule for f in findings] == ["profile-exclusive-time"]
+
+    def test_sanctioned_timing_sites_may_sample_wall_clock(self):
+        import ast
+
+        from repro.analysis.contract import check_profile_exclusive_time
+
+        tree = ast.parse("t0 = wall_clock()\n")
+        for rel in ("obs/trace.py", "core/driver.py", "governor/__init__.py"):
+            assert list(check_profile_exclusive_time(tree, rel)) == []
+
     def test_live_package_has_no_contract_errors(self):
         findings = run_contract_checks()
         assert [f for f in findings if f.severity == ERROR] == []

@@ -1,0 +1,450 @@
+"""Tests for the live profiler, progress estimation, and robustness maps.
+
+Covers the tentpole observability surfaces:
+
+* :class:`repro.obs.ProfileCollector` — the frame-accounting invariant
+  (exclusive units partition the attempt's metered execution work), rows
+  in/out, q-error propagation through nested joins, spill attribution,
+  extras capture, and the multi-attempt (re-optimization) shape;
+* the obs-off fast path — disabled profiling constructs no collector,
+  reaches no hook, and leaves metered work units bit-identical;
+* :class:`repro.obs.ProgressEstimator` — budget refinement at CHECK
+  points, completion snapping, gauges, callback, and rendering;
+* :class:`repro.obs.RobustnessMap` — surface structure, fragility, JSON
+  and heatmap artifacts;
+* the JSONL export, ``explain analyze`` annotations, the CLI verbs, and
+  Prometheus label escaping.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import PopConfig
+from repro.cli import Shell
+from repro.core import driver as driver_module
+from repro.executor.meter import WorkMeter
+from repro.obs import (
+    MetricsRegistry,
+    OpProfile,
+    ProgressEstimator,
+    RobustnessMap,
+    render_profile_table,
+    write_profiles_jsonl,
+)
+from repro.plan.analyze import explain_analyze
+
+RECONCILE_TOLERANCE = 0.01
+
+THREE_JOIN_SQL = """
+SELECT orders.o_orderkey, lineitem.l_quantity, customer.c_name
+FROM customer, orders, lineitem
+WHERE customer.c_custkey = orders.o_custkey
+  AND orders.o_orderkey = lineitem.l_orderkey
+  AND customer.c_mktsegment = 'BUILDING'
+"""
+
+
+def run_profiled(db, sql, params=None, pop=None, progress=None):
+    meter = WorkMeter()
+    result = db.execute(
+        sql, params=params, pop=pop, meter=meter,
+        profile=True, progress=progress,
+    )
+    return result.report
+
+
+class TestExclusiveTimeAccounting:
+    def test_self_units_partition_execution_units(self, tpch_db):
+        report = run_profiled(tpch_db, THREE_JOIN_SQL)
+        assert report.profiled
+        for attempt in report.attempts:
+            assert attempt.profiles
+            total = sum(p.self_units for p in attempt.profiles)
+            assert total == pytest.approx(
+                attempt.execution_units, rel=RECONCILE_TOLERANCE
+            )
+        assert report.profile_self_units == pytest.approx(
+            sum(a.execution_units for a in report.attempts),
+            rel=RECONCILE_TOLERANCE,
+        )
+
+    def test_inclusive_bounds_and_rows_flow(self, tpch_db):
+        report = run_profiled(tpch_db, THREE_JOIN_SQL)
+        (attempt,) = report.attempts
+        by_id = {p.op_id: p for p in attempt.profiles}
+        for prof in attempt.profiles:
+            assert prof.self_units >= 0.0
+            assert prof.total_units >= prof.self_units - 1e-9
+            assert prof.calls > 0
+        # rows_in of every operator is the sum of its children's rows_out.
+        def check(op):
+            prof = by_id.get(op.op_id if op.op_id is not None else -1)
+            if prof is not None and op.children:
+                expected = sum(
+                    by_id[c.op_id].rows_out
+                    for c in op.children
+                    if c.op_id in by_id
+                )
+                assert prof.rows_in == expected
+            for child in op.children:
+                check(child)
+
+        check(attempt.plan)
+
+    def test_qerror_propagates_through_nested_joins(self, tpch_db):
+        report = run_profiled(tpch_db, THREE_JOIN_SQL)
+        (attempt,) = report.attempts
+        joins = [
+            p for p in attempt.profiles
+            if p.kind in ("HSJOIN", "NLJOIN", "MSJOIN")
+        ]
+        assert len(joins) >= 2, "three-way join must profile >= 2 join ops"
+        for prof in joins:
+            if not prof.eof:
+                continue
+            est = max(prof.est_card, 1.0)
+            act = max(float(prof.rows_out), 1.0)
+            assert prof.qerror == pytest.approx(max(est / act, act / est))
+            assert prof.qerror >= 1.0
+        # Transparent operators never get a q-error, even at EOF.
+        for prof in attempt.profiles:
+            if prof.kind in ("CHECK", "BUFCHECK", "RETURN", "ANTIJOIN"):
+                assert prof.qerror is None
+
+    def test_extras_captured_per_kind(self, tpch_db):
+        report = run_profiled(tpch_db, THREE_JOIN_SQL)
+        (attempt,) = report.attempts
+        by_kind = {}
+        for p in attempt.profiles:
+            by_kind.setdefault(p.kind, p)
+        scan = by_kind.get("TBSCAN")
+        assert scan is not None and "table" in scan.extras
+        if "HSJOIN" in by_kind:
+            extras = by_kind["HSJOIN"].extras
+            assert "build_rows" in extras and "probe_rows" in extras
+
+    def test_reoptimized_round_profiles_every_attempt(self, star_db):
+        from tests.test_driver import marker_query
+
+        first = star_db.execute(marker_query(), params={"p": "RARE"})
+        checks = [
+            e.op_id for a in first.report.attempts for e in a.checkpoint_events
+        ]
+        if not checks:
+            pytest.skip("no checkpoints placed for this plan")
+        config = PopConfig(force_trigger_op_ids=frozenset({checks[0]}))
+        report = run_profiled(
+            star_db, marker_query(), params={"p": "RARE"}, pop=config
+        )
+        assert report.reoptimizations >= 1
+        assert len(report.attempts) >= 2
+        for attempt in report.attempts:
+            assert attempt.profiles
+            total = sum(p.self_units for p in attempt.profiles)
+            assert total == pytest.approx(
+                attempt.execution_units, rel=RECONCILE_TOLERANCE
+            )
+
+
+class TestObsOffFastPath:
+    def test_disabled_profiling_constructs_no_collector(
+        self, star_db, monkeypatch
+    ):
+        calls = []
+
+        class CountingCollector:
+            def __init__(self, *args, **kwargs):
+                calls.append("init")
+
+        monkeypatch.setattr(
+            driver_module, "ProfileCollector", CountingCollector
+        )
+        result = star_db.execute(
+            "SELECT cust.c_id FROM cust WHERE cust.c_segment = 'RARE'"
+        )
+        assert calls == []
+        assert not result.report.profiled
+        assert all(a.profiles is None for a in result.report.attempts)
+
+    def test_enabled_profiling_reaches_hooks(self, star_db):
+        from repro.core.driver import PopDriver
+
+        captured = []
+        original = driver_module.ProfileCollector
+
+        class Spy(original):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                captured.append(self)
+
+        driver_module.ProfileCollector = Spy
+        try:
+            driver = PopDriver(
+                star_db.optimizer, PopConfig(), profile=True
+            )
+            driver.run(
+                star_db._to_query(
+                    "SELECT cust.c_id FROM cust WHERE cust.c_segment = 'RARE'"
+                )
+            )
+        finally:
+            driver_module.ProfileCollector = original
+        assert captured and captured[0].hook_calls > 0
+
+    def test_profiling_never_perturbs_work_units(self, star_db):
+        sql = (
+            "SELECT cust.c_id, orders.o_id FROM cust, orders "
+            "WHERE cust.c_id = orders.o_custkey AND cust.c_segment = 'MID'"
+        )
+        off = star_db.execute(sql, meter=WorkMeter())
+        on = star_db.execute(sql, meter=WorkMeter(), profile=True)
+        assert on.report.total_units == off.report.total_units
+        assert [r for r in on.rows] == [r for r in off.rows]
+
+
+class TestProgressEstimator:
+    def test_integration_reaches_completion(self, tpch_db):
+        metrics = MetricsRegistry()
+        seen = []
+        progress = ProgressEstimator(
+            metrics=metrics, callback=lambda f, eta: seen.append((f, eta))
+        )
+        run_profiled(tpch_db, THREE_JOIN_SQL, progress=progress)
+        assert progress.attempts == 1
+        assert progress.fraction == 1.0
+        assert progress.eta_work_units == 0.0
+        assert seen and seen[-1] == (1.0, 0.0)
+        assert metrics.get("progress.fraction") == 1.0
+        events = [h["event"] for h in progress.history]
+        assert events[0] == "begin" and events[-1] == "end"
+
+    def test_checkpoint_refinement_rescales_budget(self):
+        class Edge:
+            op_id = 1
+            est_card = 100.0
+            children = ()
+
+        class Plan:
+            est_cost = 1000.0
+
+            def walk(self):
+                check = type(
+                    "CheckOp",
+                    (),
+                    {"op_id": 7, "est_card": 100.0, "children": [Edge()]},
+                )()
+                return [check, Edge()]
+
+        class Event:
+            op_id = 7
+            observed = 400  # 4x the estimated edge cardinality
+            units_at_event = 200.0
+
+        est = ProgressEstimator()
+        est.begin_attempt(Plan(), units_now=0.0)
+        assert est.eta_work_units == pytest.approx(1000.0)
+        est.on_checkpoint(Event())
+        # spent 200, remaining 800 rescaled by 4x -> budget 3400.
+        assert est.refinements == 1
+        assert est.eta_work_units == pytest.approx(3200.0)
+        assert est.fraction == pytest.approx(200.0 / 3400.0)
+        est.end_attempt(units_now=3400.0, completed=True)
+        assert est.fraction == 1.0
+
+    def test_refinement_ratio_is_clamped(self):
+        class Plan:
+            est_cost = 1000.0
+
+            def walk(self):
+                return [
+                    type(
+                        "CheckOp",
+                        (),
+                        {
+                            "op_id": 7,
+                            "est_card": 1.0,
+                            "children": [
+                                type(
+                                    "Edge",
+                                    (),
+                                    {"op_id": 1, "est_card": 1.0,
+                                     "children": ()},
+                                )()
+                            ],
+                        },
+                    )()
+                ]
+
+        class Event:
+            op_id = 7
+            observed = 10_000_000  # 1e7x misestimate
+            units_at_event = 0.0
+
+        est = ProgressEstimator()
+        est.begin_attempt(Plan(), units_now=0.0)
+        est.on_checkpoint(Event())
+        assert est.eta_work_units == pytest.approx(64_000.0)
+
+    def test_render_text_shows_bar_and_history(self):
+        class Plan:
+            est_cost = 10.0
+
+            def walk(self):
+                return []
+
+        est = ProgressEstimator()
+        est.begin_attempt(Plan(), units_now=0.0)
+        est.end_attempt(units_now=10.0, completed=True)
+        text = est.render_text(width=10)
+        assert "[##########] 100.0%" in text
+        assert "begin" in text and "end" in text
+
+
+class TestRobustnessMap:
+    def test_surface_structure_and_fragility(self, tpch_db):
+        opt = tpch_db.optimizer.optimize(tpch_db._to_query(THREE_JOIN_SQL))
+        rmap = RobustnessMap(opt.plan, tpch_db.optimizer.cost_model)
+        surface = rmap.compute()
+        assert surface["base_cost"] > 0
+        assert surface["fragility"] >= 1.0
+        assert surface["min_cost"] <= surface["base_cost"] <= surface["max_cost"]
+        assert all(1.0 in axis for axis in surface["factors"])
+        assert len(surface["edges"]) >= 1
+        rows = surface["cost"]
+        assert all(len(row) == len(surface["factors"][0]) for row in rows)
+
+    def test_json_and_heatmap_artifacts(self, tpch_db):
+        opt = tpch_db.optimizer.optimize(tpch_db._to_query(THREE_JOIN_SQL))
+        rmap = RobustnessMap(opt.plan, tpch_db.optimizer.cost_model)
+        parsed = json.loads(rmap.to_json())
+        assert parsed["fragility"] == rmap.compute()["fragility"]
+        heat = rmap.heatmap()
+        assert "^ = estimate" in heat
+        assert "fragility=" in heat
+
+    def test_single_table_plan_has_no_join_edges(self, star_db):
+        opt = star_db.optimizer.optimize(
+            star_db._to_query(
+                "SELECT cust.c_id FROM cust WHERE cust.c_segment = 'RARE'"
+            )
+        )
+        rmap = RobustnessMap(opt.plan, star_db.optimizer.cost_model)
+        surface = rmap.compute()
+        assert surface["edges"] == []
+        assert surface["fragility"] == 1.0
+
+
+class TestExportsAndRendering:
+    def test_jsonl_export_round_trips(self, tpch_db, tmp_path):
+        report = run_profiled(tpch_db, THREE_JOIN_SQL)
+        path = tmp_path / "profiles.jsonl"
+        count = write_profiles_jsonl(str(path), report.attempts)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == len(report.attempts[0].profiles)
+        records = [json.loads(line) for line in lines]
+        assert all(r["attempt"] == 0 for r in records)
+        assert {r["kind"] for r in records} >= {"TBSCAN", "RETURN"}
+
+    def test_jsonl_export_skips_unprofiled_reports(self, star_db, tmp_path):
+        result = star_db.execute(
+            "SELECT cust.c_id FROM cust WHERE cust.c_segment = 'RARE'"
+        )
+        path = tmp_path / "profiles.jsonl"
+        assert write_profiles_jsonl(str(path), result.report.attempts) == 0
+        assert not path.exists()
+
+    def test_explain_analyze_annotates_profiled_attempts(self, tpch_db):
+        report = run_profiled(tpch_db, THREE_JOIN_SQL)
+        text = explain_analyze(report)
+        assert "self=" in text and "wall=" in text and "q=" in text
+        plain = tpch_db.execute(THREE_JOIN_SQL)
+        assert "self=" not in explain_analyze(plain.report)
+
+    def test_profile_table_renders_every_operator(self):
+        profiles = [
+            OpProfile(
+                op_id=1, kind="HSJOIN", label="HSJOIN(a=b)", est_card=10.0,
+                rows_out=20, eof=True, self_units=1.5, qerror=2.0,
+                spill_pages=3.0,
+            ),
+            OpProfile(
+                op_id=2, kind="TBSCAN", label="TBSCAN(t)", est_card=5.0,
+                rows_out=4, eof=False,
+            ),
+        ]
+        table = render_profile_table(profiles)
+        assert "HSJOIN" in table and "TBSCAN" in table
+        assert "4+" in table  # interrupted scan shows a lower bound
+        assert "2.0" in table  # q-error column
+
+    def test_report_summary_mentions_profile(self, tpch_db):
+        report = run_profiled(tpch_db, THREE_JOIN_SQL)
+        assert "profile:" in report.summary()
+
+
+class TestShellVerbs:
+    def shell(self, db):
+        out = io.StringIO()
+        return Shell(db=db, out=out), out
+
+    def test_profile_toggle_and_last(self, star_db):
+        shell, out = self.shell(star_db)
+        shell.run(["\\profile last"])
+        assert "no profiled statement" in out.getvalue()
+        shell.run(
+            [
+                "\\profile on",
+                "SELECT cust.c_id FROM cust WHERE cust.c_segment = 'RARE';",
+                "\\profile last",
+                "\\progress",
+            ]
+        )
+        text = out.getvalue()
+        assert "profiling on" in text
+        assert "self_u" in text  # profile table header
+        assert "total self time:" in text
+        assert "100.0%" in text  # progress bar of the completed statement
+
+    def test_analyze_always_profiles(self, star_db):
+        shell, out = self.shell(star_db)
+        shell.run(
+            ["\\analyze SELECT cust.c_id FROM cust "
+             "WHERE cust.c_segment = 'RARE';"]
+        )
+        assert "self=" in out.getvalue()
+
+    def test_trace_export_writes_profile_jsonl(self, star_db, tmp_path):
+        shell, out = self.shell(star_db)
+        trace = tmp_path / "trace.jsonl"
+        shell.run(
+            [
+                f"\\trace on {trace}",
+                "\\profile on",
+                "SELECT cust.c_id FROM cust WHERE cust.c_segment = 'RARE';",
+            ]
+        )
+        export = tmp_path / "trace.profile.jsonl"
+        assert export.exists()
+        records = [
+            json.loads(line) for line in export.read_text().splitlines()
+        ]
+        assert records and all("self_units" in r for r in records)
+
+
+class TestPromLabelEscaping:
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("queries", op='say "hi"\\now', stage="a\nb")
+        text = registry.render_prometheus()
+        assert 'op="say \\"hi\\"\\\\now"' in text
+        assert 'stage="a\\nb"' in text
+        assert "\n " not in text.split("# ")[0]  # no raw newline inside a label
+
+    def test_plain_labels_unchanged(self):
+        registry = MetricsRegistry()
+        registry.inc("queries", op="scan")
+        assert 'op="scan"' in registry.render_prometheus()
