@@ -10,7 +10,11 @@ Two faces:
 * the **engine contract checker** (:mod:`repro.analysis.contract`) — an
   ``ast``-based lint of the ``repro`` source tree enforcing the iterator
   contract, determinism (no stray ``random``/``time``), no float ``==`` in
-  the cost model, and no bare ``except``.
+  the cost model, and no bare ``except``;
+* the **concurrency contract analyzer** (:mod:`repro.analysis.concurrency`)
+  — lock-order, guarded-state, wait-while-holding, and
+  callback-under-lock verification against the policy declared in
+  :mod:`repro.common.locking` (``python -m repro.analysis --concurrency``).
 
 ``python -m repro.analysis`` runs both and exits non-zero on
 error-severity findings; the CLI's ``\\lint`` and the strict modes of the
@@ -28,6 +32,14 @@ from repro.analysis.findings import (
     render_jsonl,
     render_text,
     sort_findings,
+)
+from repro.analysis.concurrency import (
+    CONCURRENCY_RULES,
+    ConcurrencyPolicy,
+    check_concurrency_module,
+    check_concurrency_tree,
+    run_concurrency_checks,
+    static_lock_graph,
 )
 from repro.analysis.plan_lint import (
     PLAN_RULES,
@@ -57,4 +69,10 @@ __all__ = [
     "plan_rule",
     "lint_plan",
     "assert_plan_clean",
+    "CONCURRENCY_RULES",
+    "ConcurrencyPolicy",
+    "check_concurrency_module",
+    "check_concurrency_tree",
+    "run_concurrency_checks",
+    "static_lock_graph",
 ]

@@ -6,6 +6,9 @@ and checkpoint placer produce for the TPC-H and/or DMV workloads.
 
 Exit status: 0 when no finding reaches the ``--fail-on`` severity
 (default: ``error``), 1 otherwise — suitable as a blocking CI job.
+``--concurrency`` instead runs only the concurrency contract analyzer
+(:mod:`repro.analysis.concurrency`) and exits 2 on findings, so the CI
+``concurrency-gate`` step is distinguishable from the general gate.
 """
 
 from __future__ import annotations
@@ -104,6 +107,12 @@ def main(argv=None) -> int:
         help="also lint every optimizer/placement plan of these workloads",
     )
     parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run only the concurrency contract analyzer (exit code 2 on "
+        "findings): lock order, guarded state, callbacks-under-lock",
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "jsonl"),
         default="text",
@@ -124,17 +133,25 @@ def main(argv=None) -> int:
 
     if args.list_rules:
         from repro.analysis import rules as _builtin  # noqa: F401
+        from repro.analysis.concurrency import CONCURRENCY_RULES
 
         for rule in PLAN_RULES.values():
             ref = f" [{rule.paper_ref}]" if rule.paper_ref else ""
             print(f"{rule.rule_id:25s}{ref:25s} {rule.doc}")
+        for rule_id, doc in CONCURRENCY_RULES.items():
+            print(f"{rule_id:25s}{'':25s} {doc}")
         return 0
 
     findings: list[Finding] = []
-    if not args.no_code:
-        findings.extend(run_contract_checks(args.root))
-    if args.plans != "none":
-        findings.extend(lint_workload_plans(args.plans))
+    if args.concurrency:
+        from repro.analysis.concurrency import run_concurrency_checks
+
+        findings = run_concurrency_checks(args.root)
+    else:
+        if not args.no_code:
+            findings.extend(run_contract_checks(args.root))
+        if args.plans != "none":
+            findings.extend(lint_workload_plans(args.plans))
 
     findings = sort_findings(findings)
     if args.format == "jsonl":
@@ -150,7 +167,9 @@ def main(argv=None) -> int:
         for severity, count in counts.items()
         if severity_rank(severity) <= threshold
     )
-    return 1 if failing else 0
+    if not failing:
+        return 0
+    return 2 if args.concurrency else 1
 
 
 if __name__ == "__main__":

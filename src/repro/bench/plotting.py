@@ -54,7 +54,7 @@ def line_chart(
         frac = (t - lo_t) / span
         return (height - 1) - int(round(frac * (height - 1)))
 
-    for marker, (name, ys) in zip(markers, series.items()):
+    for marker, (_name, ys) in zip(markers, series.items()):
         for xi, value in zip(xs, ys):
             grid[row_for(value)][xi] = marker
 

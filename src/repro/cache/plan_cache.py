@@ -35,6 +35,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.common.locking import maybe_witness
 from repro.core.feedback import CardinalityFeedback
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.fingerprint import plan_fingerprint
@@ -143,12 +144,15 @@ class PlanCache:
 
     def __init__(self, config: Optional[PlanCacheConfig] = None):
         self.config = config if config is not None else PlanCacheConfig()
-        self.stats = CacheStats()
+        self.stats = CacheStats()  # guarded-by: _lock
         #: shape -> (fingerprint -> CachedPlan); both levels ordered LRU->MRU.
+        # guarded-by: _lock
         self._shapes: "OrderedDict[str, OrderedDict[str, CachedPlan]]" = (
             OrderedDict()
         )
-        self._lock = threading.RLock()
+        # Ranked "cache" in the repo lock order (repro.common.locking);
+        # reentrant because lookup/install helpers nest public methods.
+        self._lock = maybe_witness(threading.RLock(), "cache")
 
     # ---------------------------------------------------------------- lookup
 

@@ -33,6 +33,7 @@ meta commands:
   \\lint SQL...              run the plan-semantics linter on a statement's
                             plan (checkpoints included)
   \\lint code                run the engine contract checker on the source
+  \\lint concurrency         run the concurrency contract analyzer
   \\lint rules               list the plan-rule catalog
   \\pop on|off               enable/disable progressive optimization
   \\pop flavors F1,F2        set checkpoint flavors (LC,LCEM,ECB,ECWC,ECDC)
@@ -248,20 +249,31 @@ class Shell:
         from repro.analysis import LintContext, lint_plan, render_text
 
         if not args:
-            self.write("usage: \\lint SELECT ... | \\lint code | \\lint rules")
+            self.write(
+                "usage: \\lint SELECT ... | \\lint code | "
+                "\\lint concurrency | \\lint rules"
+            )
             return
         if args[0].lower() == "code" and len(args) == 1:
             from repro.analysis.contract import run_contract_checks
 
             self.write(render_text(run_contract_checks()))
             return
+        if args[0].lower() == "concurrency" and len(args) == 1:
+            from repro.analysis.concurrency import run_concurrency_checks
+
+            self.write(render_text(run_concurrency_checks()))
+            return
         if args[0].lower() == "rules" and len(args) == 1:
             from repro.analysis import rules as _builtin  # noqa: F401
+            from repro.analysis.concurrency import CONCURRENCY_RULES
             from repro.analysis.plan_lint import PLAN_RULES
 
             for rule in PLAN_RULES.values():
                 ref = f" [{rule.paper_ref}]" if rule.paper_ref else ""
                 self.write(f"  {rule.rule_id:25s}{ref} {rule.doc}")
+            for rule_id, doc in CONCURRENCY_RULES.items():
+                self.write(f"  {rule_id:25s} {doc}")
             return
         from repro.core.placement import place_checkpoints
 

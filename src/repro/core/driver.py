@@ -663,7 +663,7 @@ class PopDriver:
                         raise ExecutionError(
                             f"non-compensating checkpoint {report.signal_flavor} "
                             "fired after rows were returned"
-                        )
+                        ) from signal
                     for row in sink:
                         compensation[row] += 1
                     delivered.extend(sink)

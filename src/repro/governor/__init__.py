@@ -33,6 +33,10 @@ Life of a statement under the governor:
 
 Thread-safe: one lock/condition guards all budget state, because the
 whole point is many concurrent statements contending for one budget.
+The ``governor`` condition ranks first in the repo-wide lock order (see
+:mod:`repro.common.locking`), and ``on_shrink`` callbacks are *never*
+invoked while it is held — renegotiation collects them under the lock
+and dispatches after release (:meth:`MemoryGovernor._dispatch_shrinks`).
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ import threading
 from typing import Callable, Optional
 
 from repro.common.errors import AdmissionRejected
+from repro.common.locking import maybe_witness
 from repro.core.config import MemoryPolicy
 from repro.obs import wall_clock
 from repro.plan.physical import HashJoin, PlanOp, Sort, Temp
@@ -94,16 +99,18 @@ class Reservation:
         self.governor = governor
         self.res_id = res_id
         self.label = label
-        self.pages = pages
+        self.pages = pages  # guarded-by: governor._cond
         self.initial_pages = pages
-        self.released = False
+        self.released = False  # guarded-by: governor._cond
         #: Times the governor shrank this reservation mid-query.
-        self.renegotiations = 0
+        self.renegotiations = 0  # guarded-by: governor._cond
+        # guarded-by: governor._cond
         self._shrink_callbacks: list[Callable[["Reservation", float], None]] = []
 
     def on_shrink(self, callback: Callable[["Reservation", float], None]) -> None:
         """Register ``callback(reservation, new_pages)`` for renegotiations."""
-        self._shrink_callbacks.append(callback)
+        with self.governor._cond:
+            self._shrink_callbacks.append(callback)
 
     def shrink_to(self, new_pages: float) -> float:
         """Voluntarily renegotiate down (e.g. a fault applying pressure).
@@ -117,12 +124,14 @@ class Reservation:
         """Return the pages to the budget (idempotent)."""
         self.governor.release(self)
 
-    def _apply_shrink(self, new_pages: float) -> None:
-        """Governor-internal: record the shrink and notify listeners."""
+    def _collect_shrink_locked(self, new_pages: float) -> list:
+        """Governor-internal (``_cond`` held): record the shrink, return
+        the ``(callback, reservation, new_pages)`` invocations the caller
+        must dispatch *after* releasing the lock — callbacks never run
+        under a policy lock (see :mod:`repro.common.locking`)."""
         self.pages = new_pages
         self.renegotiations += 1
-        for callback in self._shrink_callbacks:
-            callback(self, new_pages)
+        return [(cb, self, new_pages) for cb in self._shrink_callbacks]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Reservation {self.label} pages={self.pages:.1f}>"
@@ -135,21 +144,21 @@ class MemoryGovernor:
         self.policy = policy
         self.metrics = metrics
         self.tracer = tracer
-        self._cond = threading.Condition()
-        self._running: list[Reservation] = []
-        self._queue_depth = 0
-        self._seq = 0
+        self._cond = maybe_witness(threading.Condition(), "governor")
+        self._running: list[Reservation] = []  # guarded-by: _cond
+        self._queue_depth = 0  # guarded-by: _cond
+        self._seq = 0  # guarded-by: _cond
         #: High-water mark of simultaneously reserved pages — the gauge
         #: the concurrency suite audits against ``budget_pages``.
-        self.peak_pages = 0.0
-        self.admitted_total = 0
-        self.rejected_total = 0
-        self.queued_total = 0
-        self.renegotiation_total = 0
+        self.peak_pages = 0.0  # guarded-by: _cond
+        self.admitted_total = 0  # guarded-by: _cond
+        self.rejected_total = 0  # guarded-by: _cond
+        self.queued_total = 0  # guarded-by: _cond
+        self.renegotiation_total = 0  # guarded-by: _cond
         #: Cumulative spill accounting reported back by finished statements.
-        self.spill_bytes_total = 0
-        self.spill_pages_total = 0.0
-        self.spill_files_total = 0
+        self.spill_bytes_total = 0  # guarded-by: _cond
+        self.spill_pages_total = 0.0  # guarded-by: _cond
+        self.spill_files_total = 0  # guarded-by: _cond
 
     # -------------------------------------------------------------- admission
 
@@ -169,53 +178,69 @@ class MemoryGovernor:
         p = self.policy
         ask = min(max(requested_pages, p.min_reservation_pages), p.budget_pages)
         deadline = wall_clock() + p.queue_timeout_seconds
-        with self._cond:
-            waited = False
-            while True:
-                reservation = self._try_admit_locked(ask, label)
-                if reservation is not None:
-                    if waited and self.metrics is not None:
-                        self.metrics.inc("governor.queue_exits")
-                    return reservation
-                remaining = deadline - wall_clock()
-                if self._queue_depth >= p.max_queue_depth or remaining <= 0:
-                    self.rejected_total += 1
-                    if self.metrics is not None:
-                        self.metrics.inc("governor.rejected")
-                    if self.tracer is not None:
-                        self.tracer.event(
-                            "governor.shed",
-                            label=label,
+        waited = False
+        while True:
+            # Renegotiation callbacks collected while holding the condition;
+            # dispatched after release (no callbacks under policy locks).
+            pending: list = []
+            shed_exc: Optional[AdmissionRejected] = None
+            with self._cond:
+                reservation = self._try_admit_locked(ask, label, pending)
+                if reservation is None:
+                    remaining = deadline - wall_clock()
+                    if self._queue_depth >= p.max_queue_depth or remaining <= 0:
+                        self.rejected_total += 1
+                        if self.metrics is not None:
+                            self.metrics.inc("governor.rejected")
+                        if self.tracer is not None:
+                            self.tracer.event(
+                                "governor.shed",
+                                label=label,
+                                requested_pages=ask,
+                                budget_pages=p.budget_pages,
+                                queue_depth=self._queue_depth,
+                            )
+                        reason = (
+                            "admission queue full"
+                            if remaining > 0
+                            else "admission wait timed out"
+                        )
+                        shed_exc = AdmissionRejected(
+                            f"memory governor shed statement {label!r}: {reason} "
+                            f"(requested={ask:.1f} pages, budget={p.budget_pages:.1f} pages, "
+                            f"queue_depth={self._queue_depth})",
                             requested_pages=ask,
                             budget_pages=p.budget_pages,
                             queue_depth=self._queue_depth,
                         )
-                    reason = "admission queue full" if remaining > 0 else "admission wait timed out"
-                    raise AdmissionRejected(
-                        f"memory governor shed statement {label!r}: {reason} "
-                        f"(requested={ask:.1f} pages, budget={p.budget_pages:.1f} pages, "
-                        f"queue_depth={self._queue_depth})",
-                        requested_pages=ask,
-                        budget_pages=p.budget_pages,
-                        queue_depth=self._queue_depth,
-                    )
-                if not waited:
-                    waited = True
-                    self.queued_total += 1
-                    if self.metrics is not None:
-                        self.metrics.inc("governor.queued")
-                self._queue_depth += 1
-                self._publish_gauges_locked()
-                try:
-                    self._cond.wait(timeout=remaining)
-                finally:
-                    self._queue_depth -= 1
+                    else:
+                        if not waited:
+                            waited = True
+                            self.queued_total += 1
+                            if self.metrics is not None:
+                                self.metrics.inc("governor.queued")
+                        self._queue_depth += 1
+                        self._publish_gauges_locked()
+                        try:
+                            self._cond.wait(timeout=remaining)
+                        finally:
+                            self._queue_depth -= 1
+            self._dispatch_shrinks(pending)
+            if reservation is not None:
+                if waited and self.metrics is not None:
+                    self.metrics.inc("governor.queue_exits")
+                return reservation
+            if shed_exc is not None:
+                raise shed_exc
 
-    def _try_admit_locked(self, ask: float, label: str) -> Optional[Reservation]:
-        """Fit ``ask`` pages, reclaiming from running statements if needed."""
+    def _try_admit_locked(
+        self, ask: float, label: str, pending: list
+    ) -> Optional[Reservation]:
+        """Fit ``ask`` pages, reclaiming from running statements if needed.
+        Shrink callbacks land in ``pending`` for post-release dispatch."""
         available = self.policy.budget_pages - self._used_locked()
         if available < ask:
-            self._reclaim_locked(ask - available)
+            self._reclaim_locked(ask - available, pending)
             available = self.policy.budget_pages - self._used_locked()
         if available < ask:
             return None
@@ -237,9 +262,11 @@ class MemoryGovernor:
 
     # ---------------------------------------------------------- renegotiation
 
-    def _reclaim_locked(self, needed: float) -> float:
+    def _reclaim_locked(self, needed: float, pending: list) -> float:
         """Shrink running reservations toward the floor to free ``needed``
-        pages (mid-query renegotiation).  Returns the pages freed."""
+        pages (mid-query renegotiation).  Returns the pages freed; the
+        affected statements' shrink callbacks are appended to ``pending``
+        and must be dispatched by the caller after releasing ``_cond``."""
         floor = self.policy.min_reservation_pages
         freed = 0.0
         # Largest reservations first: fewest statements disturbed.
@@ -249,7 +276,9 @@ class MemoryGovernor:
             give = min(reservation.pages - floor, needed - freed)
             if give <= 0:
                 continue
-            reservation._apply_shrink(reservation.pages - give)
+            pending.extend(
+                reservation._collect_shrink_locked(reservation.pages - give)
+            )
             freed += give
             self.renegotiation_total += 1
             if self.metrics is not None:
@@ -270,13 +299,20 @@ class MemoryGovernor:
             freed = reservation.pages - target
             if freed <= 0:
                 return 0.0
-            reservation._apply_shrink(target)
+            pending = reservation._collect_shrink_locked(target)
             self.renegotiation_total += 1
             if self.metrics is not None:
                 self.metrics.inc("governor.renegotiations")
             self._publish_gauges_locked()
             self._cond.notify_all()
-            return freed
+        self._dispatch_shrinks(pending)
+        return freed
+
+    @staticmethod
+    def _dispatch_shrinks(pending: list) -> None:
+        """Invoke collected ``on_shrink`` callbacks with no lock held."""
+        for callback, reservation, new_pages in pending:
+            callback(reservation, new_pages)
 
     # ---------------------------------------------------------------- release
 

@@ -16,7 +16,10 @@ decades used by cardinality-estimation papers.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Optional
+
+from repro.common.locking import maybe_witness
 
 #: General-purpose bucket bounds (work units, row counts, ...).
 DEFAULT_BUCKETS = (1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
@@ -79,9 +82,14 @@ class MetricsRegistry:
     """A process-local registry of named metric series."""
 
     def __init__(self) -> None:
-        self._counters: dict[tuple, float] = {}
-        self._gauges: dict[tuple, float] = {}
-        self._histograms: dict[tuple, _Histogram] = {}
+        # Ranked "obs.metrics" in the repo lock order (repro.common.locking):
+        # safe to take while holding the governor condition, never the
+        # other way around.
+        self._lock = maybe_witness(threading.Lock(), "obs.metrics")
+        self._counters: dict[tuple, float] = {}  # guarded-by: _lock
+        self._gauges: dict[tuple, float] = {}  # guarded-by: _lock
+        self._histograms: dict[tuple, _Histogram] = {}  # guarded-by: _lock
+        # guarded-by: _lock
         self._declared_buckets: dict[str, tuple] = {
             "estimate.error.qerror": QERROR_BUCKETS,
         }
@@ -90,43 +98,54 @@ class MetricsRegistry:
 
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
         key = _key(name, labels)
-        self._counters[key] = self._counters.get(key, 0.0) + value
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
 
     # ----------------------------------------------------------------- gauges
 
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
-        self._gauges[_key(name, labels)] = float(value)
+        with self._lock:
+            self._gauges[_key(name, labels)] = float(value)
 
     # ------------------------------------------------------------- histograms
 
     def declare_histogram(self, name: str, buckets: tuple) -> None:
         """Pin the bucket bounds ``observe(name, ...)`` will use."""
-        self._declared_buckets[name] = tuple(sorted(buckets))
+        with self._lock:
+            self._declared_buckets[name] = tuple(sorted(buckets))
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
         key = _key(name, labels)
-        hist = self._histograms.get(key)
-        if hist is None:
-            hist = _Histogram(self._declared_buckets.get(name, DEFAULT_BUCKETS))
-            self._histograms[key] = hist
-        hist.observe(value)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = _Histogram(
+                    self._declared_buckets.get(name, DEFAULT_BUCKETS)
+                )
+                self._histograms[key] = hist
+            hist.observe(value)
 
     # ------------------------------------------------------------- inspection
 
     def get(self, name: str, **labels: Any) -> float:
         """Current value of a counter or gauge series (0 when absent)."""
         key = _key(name, labels)
-        if key in self._counters:
-            return self._counters[key]
-        return self._gauges.get(key, 0.0)
+        with self._lock:
+            if key in self._counters:
+                return self._counters[key]
+            return self._gauges.get(key, 0.0)
 
     def total(self, name: str) -> float:
         """Sum of a counter across all label combinations."""
-        return sum(v for (n, _), v in self._counters.items() if n == name)
+        with self._lock:
+            return sum(
+                v for (n, _), v in self._counters.items() if n == name
+            )
 
     def histogram(self, name: str, **labels: Any) -> Optional[dict]:
-        hist = self._histograms.get(_key(name, labels))
-        return hist.as_dict() if hist is not None else None
+        with self._lock:
+            hist = self._histograms.get(_key(name, labels))
+            return hist.as_dict() if hist is not None else None
 
     def snapshot(self) -> dict:
         """A plain-dict snapshot of every series (stable key order)."""
@@ -137,19 +156,23 @@ class MetricsRegistry:
                 for (name, labels), value in sorted(store.items())
             }
 
-        return {
-            "counters": series(self._counters),
-            "gauges": series(self._gauges),
-            "histograms": {
-                f"{name}{_label_text(labels)}": hist.as_dict()
-                for (name, labels), hist in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": series(self._counters),
+                "gauges": series(self._gauges),
+                "histograms": {
+                    f"{name}{_label_text(labels)}": hist.as_dict()
+                    for (name, labels), hist in sorted(
+                        self._histograms.items()
+                    )
+                },
+            }
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     # -------------------------------------------------------------- rendering
 
@@ -178,20 +201,27 @@ class MetricsRegistry:
         def prom_name(name: str) -> str:
             return name.replace(".", "_").replace("-", "_")
 
-        for (name, labels), value in sorted(self._counters.items()):
-            lines.append(f"{prom_name(name)}_total{_prom_labels(labels)} {value:g}")
-        for (name, labels), value in sorted(self._gauges.items()):
-            lines.append(f"{prom_name(name)}{_prom_labels(labels)} {value:g}")
-        for (name, labels), hist in sorted(self._histograms.items()):
-            base = prom_name(name)
-            for bound, cum in hist.cumulative():
-                bound_text = "+Inf" if bound == _INF else f"{bound:g}"
-                extra = (("le", bound_text),)
+        with self._lock:
+            for (name, labels), value in sorted(self._counters.items()):
                 lines.append(
-                    f"{base}_bucket{_prom_labels(labels + extra)} {cum}"
+                    f"{prom_name(name)}_total{_prom_labels(labels)} {value:g}"
                 )
-            lines.append(f"{base}_count{_prom_labels(labels)} {hist.count}")
-            lines.append(f"{base}_sum{_prom_labels(labels)} {hist.sum:g}")
+            for (name, labels), value in sorted(self._gauges.items()):
+                lines.append(
+                    f"{prom_name(name)}{_prom_labels(labels)} {value:g}"
+                )
+            for (name, labels), hist in sorted(self._histograms.items()):
+                base = prom_name(name)
+                for bound, cum in hist.cumulative():
+                    bound_text = "+Inf" if bound == _INF else f"{bound:g}"
+                    extra = (("le", bound_text),)
+                    lines.append(
+                        f"{base}_bucket{_prom_labels(labels + extra)} {cum}"
+                    )
+                lines.append(
+                    f"{base}_count{_prom_labels(labels)} {hist.count}"
+                )
+                lines.append(f"{base}_sum{_prom_labels(labels)} {hist.sum:g}")
         return "\n".join(lines)
 
 

@@ -44,7 +44,7 @@ def _join_edges(plan):
         if op.KIND not in _JOIN_KINDS:
             continue
         ranges = getattr(op, "validity_ranges", None) or []
-        for idx, child in enumerate(op.children):
+        for idx, _child in enumerate(op.children):
             rng = ranges[idx] if idx < len(ranges) else None
             entry = (float(op.est_cost), op, idx, rng)
             if rng is not None and not rng.is_trivial:
@@ -165,7 +165,7 @@ class RobustnessMap:
         edges = []
         factor_axes = []
         card_axes = []
-        for join, idx, child, rng in picked:
+        for join, _idx, child, rng in picked:
             est = max(float(child.est_card), 1.0)
             factors = _factor_grid(est, rng, self.points)
             factor_axes.append(factors)

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Optional, TextIO
+
+from repro.common.locking import maybe_witness
 
 
 def wall_clock() -> float:
@@ -54,10 +57,14 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
         self._meter = None
-        self._records: list[dict] = []
-        self._open: dict[int, dict] = {}
-        self._stack: list[int] = []
-        self._next_id = 1
+        # Ranked "obs.trace" in the repo lock order (repro.common.locking):
+        # emission is safe under the governor condition, and the tracer
+        # itself never takes another policy lock.
+        self._lock = maybe_witness(threading.Lock(), "obs.trace")
+        self._records: list[dict] = []  # guarded-by: _lock
+        self._open: dict[int, dict] = {}  # guarded-by: _lock
+        self._stack: list[int] = []  # guarded-by: _lock
+        self._next_id = 1  # guarded-by: _lock
 
     # ----------------------------------------------------------------- clocks
 
@@ -79,43 +86,45 @@ class Tracer:
         stack); pass an explicit id to pin the hierarchy regardless of call
         order (operator spans do this — their opens interleave).
         """
-        span_id = self._next_id
-        self._next_id += 1
-        if parent is None and self._stack:
-            parent = self._stack[-1]
-        record = {
-            "type": "span",
-            "id": span_id,
-            "parent": parent,
-            "name": name,
-            "t0": self._clock(),
-            "t1": None,
-            "u0": self._units(),
-            "u1": None,
-            "attrs": dict(attrs),
-        }
-        self._records.append(record)
-        self._open[span_id] = record
-        self._stack.append(span_id)
-        return span_id
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            if parent is None and self._stack:
+                parent = self._stack[-1]
+            record = {
+                "type": "span",
+                "id": span_id,
+                "parent": parent,
+                "name": name,
+                "t0": self._clock(),
+                "t1": None,
+                "u0": self._units(),
+                "u1": None,
+                "attrs": dict(attrs),
+            }
+            self._records.append(record)
+            self._open[span_id] = record
+            self._stack.append(span_id)
+            return span_id
 
     def end_span(self, span_id: Optional[int], **attrs: Any) -> None:
         """Close a span (idempotent; unknown ids are ignored)."""
         if span_id is None:
             return
-        record = self._open.pop(span_id, None)
-        if record is None:
-            return
-        record["t1"] = self._clock()
-        record["u1"] = self._units()
-        if attrs:
-            record["attrs"].update(attrs)
-        # Remove from the implicit stack wherever it sits; closes of
-        # interrupted subtrees arrive out of order.
-        for i in range(len(self._stack) - 1, -1, -1):
-            if self._stack[i] == span_id:
-                del self._stack[i]
-                break
+        with self._lock:
+            record = self._open.pop(span_id, None)
+            if record is None:
+                return
+            record["t1"] = self._clock()
+            record["u1"] = self._units()
+            if attrs:
+                record["attrs"].update(attrs)
+            # Remove from the implicit stack wherever it sits; closes of
+            # interrupted subtrees arrive out of order.
+            for i in range(len(self._stack) - 1, -1, -1):
+                if self._stack[i] == span_id:
+                    del self._stack[i]
+                    break
 
     @contextmanager
     def span(self, name: str, parent: Optional[int] = None, **attrs: Any):
@@ -130,37 +139,43 @@ class Tracer:
 
     def event(self, name: str, span: Optional[int] = None, **attrs: Any) -> None:
         """Record a point event, attached to ``span`` or the current span."""
-        if span is None and self._stack:
-            span = self._stack[-1]
-        self._records.append(
-            {
-                "type": "event",
-                "span": span,
-                "name": name,
-                "t": self._clock(),
-                "u": self._units(),
-                "attrs": dict(attrs),
-            }
-        )
+        with self._lock:
+            if span is None and self._stack:
+                span = self._stack[-1]
+            self._records.append(
+                {
+                    "type": "event",
+                    "span": span,
+                    "name": name,
+                    "t": self._clock(),
+                    "u": self._units(),
+                    "attrs": dict(attrs),
+                }
+            )
 
     # ------------------------------------------------------------- inspection
 
     @property
     def records(self) -> list[dict]:
-        """All records, in start order (span ``t1``/``u1`` filled on end)."""
-        return self._records
+        """All records, in start order (span ``t1``/``u1`` filled on end).
+
+        Returns a snapshot list; record dicts are shared, so a span that
+        ends after the snapshot still gets its ``t1``/``u1`` filled in.
+        """
+        with self._lock:
+            return list(self._records)
 
     def spans(self, name: Optional[str] = None) -> list[dict]:
         return [
             r
-            for r in self._records
+            for r in self.records
             if r["type"] == "span" and (name is None or r["name"] == name)
         ]
 
     def events(self, name: Optional[str] = None) -> list[dict]:
         return [
             r
-            for r in self._records
+            for r in self.records
             if r["type"] == "event" and (name is None or r["name"] == name)
         ]
 
@@ -168,20 +183,21 @@ class Tracer:
         """Direct child spans of ``span_id``, in start order."""
         return [
             r
-            for r in self._records
+            for r in self.records
             if r["type"] == "span" and r["parent"] == span_id
         ]
 
     def clear(self) -> None:
-        self._records = []
-        self._open = {}
-        self._stack = []
+        with self._lock:
+            self._records = []
+            self._open = {}
+            self._stack = []
 
     # ----------------------------------------------------------------- export
 
     def to_jsonl(self) -> str:
         return "\n".join(
-            json.dumps(_jsonable(r), default=str) for r in self._records
+            json.dumps(_jsonable(r), default=str) for r in self.records
         )
 
     def write_jsonl(self, target: str | TextIO) -> None:

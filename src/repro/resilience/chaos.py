@@ -28,6 +28,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.common.locking import active_witness
 from repro.core.config import PopConfig, ResiliencePolicy
 from repro.executor.meter import WorkMeter
 from repro.obs import MetricsRegistry, Tracer
@@ -367,7 +368,7 @@ def run_memory_pressure(
     # Single-query oracles and per-plan memory estimates, ungoverned.
     oracle: dict[str, list] = {}
     estimates = []
-    for name, sql in picks:
+    for _name, sql in picks:
         if sql not in oracle:
             oracle[sql] = canonical_rows(db.execute(sql, pop=config).rows)
             estimates.append(
@@ -440,6 +441,24 @@ def run_memory_pressure(
         )
     if metrics.total("governor.spill_pages") <= 0.0:
         problems.append("spill work invisible in governor.* metrics")
+    witness = active_witness()
+    if witness is not None:
+        # Cross-check the runtime lock-order witness against the static
+        # analyzer: an edge observed here but absent from the static lock
+        # graph is a static-analysis false negative.
+        from repro.analysis.concurrency import static_lock_graph
+
+        unexpected = witness.edges() - static_lock_graph()
+        if unexpected:
+            problems.append(
+                "witness observed lock edge(s) missing from the static "
+                f"lock graph: {sorted(unexpected)}"
+            )
+        for violation in witness.wait_violations():
+            problems.append(
+                f"witness saw wait on {violation.waiting_on!r} while "
+                f"holding {violation.held}"
+            )
     outcome = QueryOutcome(
         workload="memory", query="dmv_concurrent", chaos_seed=chaos_seed,
         ok=not problems, problems=problems,

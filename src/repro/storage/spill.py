@@ -32,9 +32,11 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 from typing import Iterable, Iterator, Optional
 
 from repro.common.errors import ExecutionError
+from repro.common.locking import maybe_witness
 
 #: Rows per pickled batch: large enough to amortize pickling overhead,
 #: small enough that one in-flight batch never dominates the grant.
@@ -166,33 +168,39 @@ class SpillManager:
         self.cost_params = cost_params
         self.tracer = tracer
         self.metrics = metrics
-        self._dir: Optional[str] = None
-        self._files: list[SpillFile] = []
-        self._seq = 0
-        self.released = False
+        # Ranked "spill" — last in the repo lock order (repro.common.locking).
+        # It guards bookkeeping only; meter charges and metrics/tracer
+        # emission happen *after* it is released, so no spill->obs
+        # acquisition edge exists.
+        self._lock = maybe_witness(threading.Lock(), "spill")
+        self._dir: Optional[str] = None  # guarded-by: _lock
+        self._files: list[SpillFile] = []  # guarded-by: _lock
+        self._seq = 0  # guarded-by: _lock
+        self.released = False  # guarded-by: _lock
         #: Cumulative accounting, kept past :meth:`close_all` so drivers
         #: can report per-attempt spill volume after cleanup.
-        self.files_created = 0
-        self.rows_spilled = 0
-        self.rows_read_back = 0
-        self.bytes_spilled = 0
-        self.pages_spilled = 0.0
-        self.categories: dict[str, float] = {}
+        self.files_created = 0  # guarded-by: _lock
+        self.rows_spilled = 0  # guarded-by: _lock
+        self.rows_read_back = 0  # guarded-by: _lock
+        self.bytes_spilled = 0  # guarded-by: _lock
+        self.pages_spilled = 0.0  # guarded-by: _lock
+        self.categories: dict[str, float] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------- creation
 
     def create(self, category: str, label: Optional[str] = None) -> SpillFile:
         """A new empty spill file charged to ``category``."""
-        if self.released:
-            raise ExecutionError("spill manager used after release")
-        if self._dir is None:
-            self._dir = tempfile.mkdtemp(prefix="repro-spill-")
-        self._seq += 1
-        name = label if label is not None else f"{category}-{self._seq}"
-        path = os.path.join(self._dir, f"{self._seq:06d}-{category}")
-        spill = SpillFile(self, path, category, name)
-        self._files.append(spill)
-        self.files_created += 1
+        with self._lock:
+            if self.released:
+                raise ExecutionError("spill manager used after release")
+            if self._dir is None:
+                self._dir = tempfile.mkdtemp(prefix="repro-spill-")
+            self._seq += 1
+            name = label if label is not None else f"{category}-{self._seq}"
+            path = os.path.join(self._dir, f"{self._seq:06d}-{category}")
+            spill = SpillFile(self, path, category, name)
+            self._files.append(spill)
+            self.files_created += 1
         if self.metrics is not None:
             self.metrics.inc("governor.spill_files", category=category)
         if self.tracer is not None:
@@ -214,41 +222,46 @@ class SpillManager:
 
     def _note_write(self, spill: SpillFile, row_count: int) -> None:
         pages = self._pages(row_count)
+        with self._lock:
+            self.rows_spilled += row_count
+            self.pages_spilled += pages
+            self.bytes_spilled = sum(f.bytes_written for f in self._files)
+            self.categories[spill.category] = (
+                self.categories.get(spill.category, 0.0) + pages
+            )
         self.meter.charge(pages * self.cost_params.io_page, "spill")
-        self.rows_spilled += row_count
-        self.pages_spilled += pages
-        self.bytes_spilled = sum(f.bytes_written for f in self._files)
-        self.categories[spill.category] = (
-            self.categories.get(spill.category, 0.0) + pages
-        )
         if self.metrics is not None:
             self.metrics.inc(
                 "governor.spill_pages", pages, category=spill.category
             )
 
     def _note_read(self, spill: SpillFile, row_count: int) -> None:
+        with self._lock:
+            self.rows_read_back += row_count
         self.meter.charge(
             self._pages(row_count) * self.cost_params.io_page, "spill"
         )
-        self.rows_read_back += row_count
 
     @property
     def spilled(self) -> bool:
-        return self.files_created > 0
+        with self._lock:
+            return self.files_created > 0
 
     def open_files(self) -> list[SpillFile]:
         """Files not yet deleted (the leak-audit surface for tests)."""
-        return [f for f in self._files if not f.deleted]
+        with self._lock:
+            return [f for f in self._files if not f.deleted]
 
     def summary(self) -> dict:
         """Plain-dict spill accounting for reports and traces."""
-        return {
-            "files": self.files_created,
-            "rows": self.rows_spilled,
-            "pages": self.pages_spilled,
-            "bytes": self.bytes_spilled,
-            "categories": dict(self.categories),
-        }
+        with self._lock:
+            return {
+                "files": self.files_created,
+                "rows": self.rows_spilled,
+                "pages": self.pages_spilled,
+                "bytes": self.bytes_spilled,
+                "categories": dict(self.categories),
+            }
 
     # ------------------------------------------------------------ lifecycle
 
@@ -259,16 +272,25 @@ class SpillManager:
         and every abort path (re-optimization signal, injected fault,
         timeout) release their disk footprint here.
         """
-        self.released = True
-        for spill in self._files:
-            spill.delete()
-        if self._dir is not None:
-            shutil.rmtree(self._dir, ignore_errors=True)
+        with self._lock:
+            self.released = True
+            files = list(self._files)
+            directory = self._dir
             self._dir = None
-        if self.tracer is not None and self.files_created:
+        # File deletion and the release trace run outside the lock:
+        # delete() can flush into _note_write (which takes the
+        # non-reentrant lock), and tracer emission under "spill" would
+        # invert the declared lock order.
+        for spill in files:
+            spill.delete()
+        if directory is not None:
+            shutil.rmtree(directory, ignore_errors=True)
+        with self._lock:
+            counts = (self.files_created, self.rows_spilled, self.bytes_spilled)
+        if self.tracer is not None and counts[0]:
             self.tracer.event(
                 "spill.release",
-                files=self.files_created,
-                rows=self.rows_spilled,
-                bytes=self.bytes_spilled,
+                files=counts[0],
+                rows=counts[1],
+                bytes=counts[2],
             )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.common.rng import WeightedChooser, zipf_weights
 from repro.core.database import Database
@@ -26,9 +27,10 @@ class DmvScale:
 
 
 def generate_dmv(
-    scale: DmvScale = DmvScale(), seed: int = 7
+    scale: Optional[DmvScale] = None, seed: int = 7
 ) -> dict[str, list[tuple]]:
     """Generate the eight DMV tables with the engineered correlations."""
+    scale = scale if scale is not None else DmvScale()
     rng = random.Random(seed)
     data: dict[str, list[tuple]] = {}
 
@@ -172,7 +174,7 @@ def generate_dmv(
 
 
 def load_dmv(
-    db: Database, scale: DmvScale = DmvScale(), seed: int = 7
+    db: Database, scale: Optional[DmvScale] = None, seed: int = 7
 ) -> dict[str, int]:
     """Create the DMV schema, load data, build indexes, RUNSTATS."""
     data = generate_dmv(scale, seed)
@@ -188,7 +190,9 @@ def load_dmv(
     return {table: len(rows) for table, rows in data.items()}
 
 
-def make_dmv_db(scale: DmvScale = DmvScale(), seed: int = 7, **db_kwargs) -> Database:
+def make_dmv_db(
+    scale: Optional[DmvScale] = None, seed: int = 7, **db_kwargs
+) -> Database:
     """Convenience: a fresh database pre-loaded with DMV data."""
     db = Database(**db_kwargs)
     load_dmv(db, scale, seed)

@@ -60,7 +60,7 @@ class TestExplainAnalyze:
         result = star_db.execute(marker_query(), params={"p": "COMMON"})
         for attempt in result.report.attempts:
             assert attempt.actual_cards
-            for op_id, (rows, complete) in attempt.actual_cards.items():
+            for _op_id, (rows, complete) in attempt.actual_cards.items():
                 assert rows >= 0
                 assert isinstance(complete, bool)
 

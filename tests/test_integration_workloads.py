@@ -54,7 +54,7 @@ class TestDmvAllQueries:
         (the case study's premise), visible as checkpoint evaluations whose
         observed counts leave the estimate far behind."""
         worst_error = 1.0
-        for name, sql in dmv_queries()[:13]:
+        for _name, sql in dmv_queries()[:13]:
             result = dmv_db.execute(sql, pop=PopConfig(dry_run=True))
             for event in result.report.checkpoint_events:
                 attempt = result.report.attempts[0]

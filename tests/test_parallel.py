@@ -101,7 +101,7 @@ class TestCorrectness:
 
     def test_fragments_cleaned_up_on_error(self, db):
         executor = PartitionedExecutor(db, partitions=3)
-        with pytest.raises(Exception):
+        with pytest.raises(ExecutionError):
             executor.run(
                 "SELECT o.o_id FROM orders o WHERE o.o_total > ?", "orders"
             )  # unbound parameter

@@ -290,7 +290,7 @@ class TestCacheMechanics:
     def test_shape_lru_eviction(self):
         db = make_db()
         cache = PlanCache(PlanCacheConfig(capacity=2))
-        for i, sql in enumerate(
+        for _i, sql in enumerate(
             [
                 "SELECT t.v FROM t WHERE t.k = 1",
                 "SELECT t.id FROM t WHERE t.k = 1",

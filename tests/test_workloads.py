@@ -113,7 +113,7 @@ class TestDmvGenerator:
             by_make[row[2]][row[4]] += 1
         dominant = 0
         total = 0
-        for make, counter in by_make.items():
+        for _make, counter in by_make.items():
             if sum(counter.values()) < 30:
                 continue
             top3 = sum(c for _, c in counter.most_common(3))
