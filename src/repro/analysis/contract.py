@@ -45,7 +45,9 @@ breaks the reproduction rather than crashing it:
 * **profile-exclusive-time** — wall-clock sampling goes through the
   profiler: ``wall_clock()`` may only be called (or imported) inside the
   sanctioned timing sites (``repro/obs/``, the POP driver, the memory
-  governor).  An operator or optimizer module timing itself would be
+  governor, the execution guard's statement deadline, the execution
+  context's interrupt probe, and the server runtime's timeout/reaper
+  machinery).  An operator or optimizer module timing itself would be
   invisible to the profiler's exclusive-time accounting, so its
   per-operator self-time totals would no longer reconcile with the
   driver's wall measurements.
@@ -75,9 +77,19 @@ FAULT_ISOLATION_ALLOWED = (
 )
 
 #: Where direct ``wall_clock()`` sampling is sanctioned: the observability
-#: package that defines it, the POP driver (per-attempt wall time), and the
-#: memory governor (admission-queue wait time).
-PROFILE_CLOCK_ALLOWED = ("obs/", "core/driver.py", "governor/__init__.py")
+#: package that defines it, the POP driver (per-attempt wall time), the
+#: memory governor (admission-queue wait time), the execution guard
+#: (statement wall deadlines), the execution context (deadline probes in
+#: ``check_interrupt``), and the server runtime (statement timeouts, idle
+#: reaping, drain budgets).
+PROFILE_CLOCK_ALLOWED = (
+    "obs/",
+    "core/driver.py",
+    "governor/__init__.py",
+    "resilience/guard.py",
+    "executor/base.py",
+    "server/",
+)
 
 #: The executor protocol methods and the delegation each override owes.
 _PROTOCOL_SUPER = {"open": "open", "close": "close"}

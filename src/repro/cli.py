@@ -50,6 +50,11 @@ meta commands:
                             reservations, admission queue depth, and spill
                             totals; \\memory on [BUDGET] enables it with a
                             shared page budget (default 512)
+  \\serve [PORT]             serve this database to remote sessions over the
+                            line-delimited JSON protocol (ephemeral port
+                            when omitted); \\serve status shows live
+                            sessions, \\serve stop drains and stops
+  \\kill SESSION_ID          cancel a served session's in-flight statement
   \\chaos SEED|off           run statements under seeded fault injection
                             (retry/backoff and safe-plan fallback engaged)
   \\chaos mem [SEED]         memory-pressure mode: inject only mid-query
@@ -106,6 +111,9 @@ class Shell:
         self.profile = False
         self.last_report = None
         self.last_progress = None
+        #: ``\serve`` runs a background ReproServer over ``self.db``;
+        #: drained on ``\serve stop`` and on quit.
+        self.server = None
 
     # ---------------------------------------------------------------- output
 
@@ -145,6 +153,7 @@ class Shell:
         command, args = parts[0].lower(), parts[1:]
         handler: Optional[Callable] = getattr(self, f"_meta_{command}", None)
         if command == "q" or command == "quit":
+            self._stop_server()
             self.running = False
             return
         if handler is None:
@@ -496,6 +505,92 @@ class Shell:
                 f"{res['renegotiations']} shrink(s)] {res['label']}"
             )
 
+    def _meta_serve(self, args) -> None:
+        if args and args[0] == "stop":
+            if self.server is None:
+                self.write("server is not running")
+                return
+            self._stop_server()
+            self.write("server drained and stopped")
+            return
+        if args and args[0] == "status":
+            if self.server is None:
+                self.write("server is not running (\\serve to start)")
+                return
+            stats = self.server.stats()
+            sessions = stats["sessions"]
+            host, port = self.server.address
+            self.write(
+                f"serving on {host}:{port}: {sessions['live']} live "
+                f"session(s) (peak {sessions['peak_sessions']}), "
+                f"queue depth {stats['queue_depth']}"
+            )
+            self.write(
+                f"  statements={stats['statements_total']} "
+                f"cancelled={stats['cancelled_total']} "
+                f"shed={stats['shed_total']} "
+                f"idle_reaped={stats['idle_reaped_total']}"
+            )
+            for entry in sessions["sessions"]:
+                self.write(
+                    f"  [{entry['state']}] session {entry['session']}: "
+                    f"{entry['statements']} statement(s), "
+                    f"idle {entry['idle_seconds']}s"
+                )
+            return
+        if self.server is not None:
+            host, port = self.server.address
+            self.write(
+                f"server already running on {host}:{port} "
+                "(\\serve stop to stop)"
+            )
+            return
+        try:
+            port = int(args[0]) if args else 0
+        except ValueError:
+            self.write("usage: \\serve [PORT|status|stop]")
+            return
+        from repro.server import ReproServer, ServerConfig
+
+        # Share the shell's metrics registry so \metrics shows server.*
+        # counters alongside the engine's.
+        self.server = ReproServer(
+            self.db, ServerConfig(port=port), metrics=self.metrics
+        )
+        host, port = self.server.start()
+        self.write(
+            f"serving on {host}:{port} "
+            "(line-delimited JSON; \\serve stop to stop)"
+        )
+
+    def _meta_kill(self, args) -> None:
+        if self.server is None:
+            self.write("server is not running (\\serve to start)")
+            return
+        try:
+            session_id = int(args[0]) if args else None
+        except ValueError:
+            session_id = None
+        if session_id is None:
+            self.write("usage: \\kill SESSION_ID")
+            return
+        target = self.server.registry.get(session_id)
+        if target is None:
+            self.write(f"no such session {session_id}")
+            return
+        was_running = target.cancel("killed from console")
+        self.metrics.inc("server.kills")
+        self.write(
+            f"killed session {session_id} "
+            f"({'statement cancelled' if was_running else 'was idle'})"
+        )
+
+    def _stop_server(self) -> None:
+        """Drain and stop the background server, if one is running."""
+        if self.server is not None:
+            self.server.shutdown(drain=True)
+            self.server = None
+
     def _meta_trace(self, args) -> None:
         if not args:
             if self.tracer is None:
@@ -729,6 +824,11 @@ def main(argv: Optional[list[str]] = None) -> int:
             shell.run([line])
     except KeyboardInterrupt:
         pass
+    finally:
+        # The loop feeds run() one line at a time, so end-of-stream
+        # cleanup (a \serve'd server outliving its shell) lives here,
+        # not in run().
+        shell._stop_server()
     return 0
 
 

@@ -1,0 +1,49 @@
+"""Cooperative cancellation token threaded through query execution.
+
+One :class:`CancelToken` covers one statement.  The issuing side (server
+reader thread on client disconnect, ``\\kill`` from another session,
+drain-timeout enforcement) calls :meth:`CancelToken.cancel`; the executing
+side polls :attr:`CancelToken.cancelled` at its interrupt points — the
+plan-root drain loop, blocking operator phases (sort runs, hash build,
+TEMP fill), CHECK evaluations, and the governor's admission wait — and
+unwinds with :class:`~repro.common.errors.ExecutionCancelled`, which
+``run_plan``'s ``finally`` turns into a full teardown: operators closed,
+spill files deleted, the governor reservation released by the caller.
+
+Deliberately lock-free: ``cancelled`` is a single attribute whose write
+is atomic under the interpreter, and the token only ever transitions
+False -> True, so a racing reader is at worst one poll late — exactly
+the semantics cooperative cancellation promises anyway.  ``reason`` is
+written *before* the flag so a reader that observes ``cancelled`` also
+sees why.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["CancelToken"]
+
+
+class CancelToken:
+    """A one-way latch asking one statement to stop.
+
+    Polling cost is a single attribute read, cheap enough for per-row
+    interrupt checks; no clock, lock, or allocation is involved.
+    """
+
+    __slots__ = ("cancelled", "reason")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Trip the token (idempotent; the first reason wins)."""
+        if not self.cancelled:
+            self.reason = reason
+            self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"cancelled: {self.reason}" if self.cancelled else "armed"
+        return f"<CancelToken {state}>"

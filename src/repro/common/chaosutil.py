@@ -1,0 +1,35 @@
+"""Shared helpers for the chaos harnesses.
+
+Both chaos harnesses — the fault-injection one
+(:mod:`repro.resilience.chaos`) and the connection one
+(:mod:`repro.server.chaos`) — compare governed runs against clean
+oracles and derive per-case seeds.  Those two helpers live here so the
+server harness does not have to import the fault-injection module
+(fault machinery stays confined to :mod:`repro.resilience` — the
+``fault-isolation`` contract rule enforces that).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def canonical_rows(rows) -> list[tuple]:
+    """Order-insensitive form, floats at 9 significant digits.
+
+    Fault-induced re-plans legitimately change aggregation order, which
+    perturbs float sums near machine precision; 9 significant digits is
+    coarse enough to absorb that and fine enough to catch real wrong
+    results.
+    """
+    return sorted(
+        tuple(
+            float(f"{v:.9g}") if isinstance(v, float) else v for v in row
+        )
+        for row in rows
+    )
+
+
+def query_seed(chaos_seed: int, workload: str, query_name: str) -> int:
+    """Stable per-query seed (crc32 — ``hash()`` varies across processes)."""
+    return zlib.crc32(f"{chaos_seed}:{workload}:{query_name}".encode())

@@ -102,9 +102,45 @@ class AdmissionRejected(ReproError):
 
 
 class ExecutionTimeout(ExecutionError):
-    """The statement exceeded its work-unit deadline.  Not retried — the
-    same plan would time out again; the guard goes straight to the
-    safe-plan fallback."""
+    """The statement exceeded its work-unit or wall-clock deadline.  Not
+    retried — the same plan would time out again; the guard goes straight
+    to the safe-plan fallback (or raises, when fallback is disabled)."""
+
+
+class ExecutionCancelled(ExecutionError):
+    """The statement was cancelled cooperatively mid-execution.
+
+    Raised from the operator interrupt checks when the statement's
+    :class:`~repro.common.cancel.CancelToken` trips — a client
+    disconnect, a ``\\kill`` from another session, or server drain.
+    Never retried and never diverted to the safe plan: the caller asked
+    for the statement to stop, so stopping *is* the correct outcome."""
+
+
+class ServerOverloaded(ReproError):
+    """The server shed this request instead of queueing it.
+
+    Raised before any execution work happens: the session registry or the
+    bounded statement queue is full.  Like
+    :class:`AdmissionRejected`, deliberately not a
+    :class:`TransientError` — the client owns the retry decision."""
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: int | None = None,
+        limit: int | None = None,
+    ):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+class ProtocolError(ReproError):
+    """A malformed client frame (bad JSON, oversized line, unknown op).
+
+    A *user* failure class: the request is at fault, not the engine, so
+    retrying the same bytes cannot help."""
 
 
 class UnboundParameterError(ExecutionError):
@@ -120,22 +156,27 @@ TRANSIENT = "transient"
 RESOURCE = "resource"
 TIMEOUT = "timeout"
 ADMISSION = "admission"
+CANCELLED = "cancelled"
+OVERLOADED = "overloaded"
 USER = "user"
 FATAL = "fatal"
 
-#: Errors caused by the statement itself (bad SQL, unknown objects) rather
-#: than by the runtime; retrying or re-planning cannot help.
-_USER_ERRORS = (ParseError, BindError, SchemaError, CatalogError)
+#: Errors caused by the statement itself (bad SQL, unknown objects,
+#: malformed wire frames) rather than by the runtime; retrying or
+#: re-planning cannot help.
+_USER_ERRORS = (ParseError, BindError, SchemaError, CatalogError, ProtocolError)
 
 
 def failure_class(exc: BaseException) -> str:
-    """Classify an exception for the execution guard and the CLI.
+    """Classify an exception for the execution guard, the server, and the CLI.
 
     ``transient`` / ``resource`` failures are retryable, ``timeout`` goes
     straight to the safe-plan fallback, ``admission`` means the memory
     governor shed the statement before it ran (the caller decides whether
-    to resubmit), ``user`` means the statement is at fault, and ``fatal``
-    is everything else (a genuine engine failure).
+    to resubmit), ``cancelled`` means the caller asked the statement to
+    stop, ``overloaded`` means the server shed the request before
+    admission, ``user`` means the statement is at fault, and ``fatal`` is
+    everything else (a genuine engine failure).
     """
     if isinstance(exc, ResourceExhausted):
         return RESOURCE
@@ -143,8 +184,12 @@ def failure_class(exc: BaseException) -> str:
         return TRANSIENT
     if isinstance(exc, ExecutionTimeout):
         return TIMEOUT
+    if isinstance(exc, ExecutionCancelled):
+        return CANCELLED
     if isinstance(exc, AdmissionRejected):
         return ADMISSION
+    if isinstance(exc, ServerOverloaded):
+        return OVERLOADED
     if isinstance(exc, _USER_ERRORS):
         return USER
     return FATAL

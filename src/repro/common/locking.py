@@ -18,23 +18,27 @@ Lock-order policy
 Locks must be acquired in ascending **rank** order; a thread holding a
 lock may only acquire locks of strictly greater rank:
 
-====  ==============  =======================================  ==========
-rank  lock            owner                                    kind
-====  ==============  =======================================  ==========
-0     ``governor``    ``MemoryGovernor._cond``                 condition
-1     ``cache``       ``PlanCache._lock``                      rlock
-2     ``obs.metrics`` ``MetricsRegistry._lock``                lock
-3     ``obs.trace``   ``Tracer._lock``                         lock
-4     ``spill``       ``SpillManager._lock``                   lock
-====  ==============  =======================================  ==========
+====  ===================  =============================  ==========
+rank  lock                 owner                          kind
+====  ===================  =============================  ==========
+0     ``server.sessions``  ``SessionRegistry._lock``      lock
+1     ``governor``         ``MemoryGovernor._cond``       condition
+2     ``cache``            ``PlanCache._lock``            rlock
+3     ``obs.metrics``      ``MetricsRegistry._lock``      lock
+4     ``obs.trace``        ``Tracer._lock``               lock
+5     ``spill``            ``SpillManager._lock``         lock
+====  ===================  =============================  ==========
 
-Rationale: the governor publishes gauges and trace events while holding
-its condition (admission must be atomic with its observability), so the
-obs locks rank *after* it; the plan cache may someday record metrics
-under its lock, so it also ranks before obs; spill bookkeeping is a leaf
-— it must never call back into obs or the governor while locked (the
-analyzer enforces this: ``SpillManager`` takes its metrics/meter charges
-*outside* its lock).
+Rationale: the server's session registry sits at the outermost layer —
+a registry sweep (idle reaper, drain, ``\\kill``) inspects sessions and
+may touch per-session resources whose teardown reaches the governor, so
+it must rank before everything the engine acquires; the governor
+publishes gauges and trace events while holding its condition (admission
+must be atomic with its observability), so the obs locks rank *after*
+it; the plan cache may someday record metrics under its lock, so it also
+ranks before obs; spill bookkeeping is a leaf — it must never call back
+into obs or the governor while locked (the analyzer enforces this:
+``SpillManager`` takes its metrics/meter charges *outside* its lock).
 
 Three further disciplines ride on the same declaration:
 
@@ -110,13 +114,15 @@ class LockSpec:
 
 #: The declared acquisition order (see the module docstring's table).
 LOCK_ORDER: tuple[LockSpec, ...] = (
-    LockSpec("governor", "MemoryGovernor", "_cond", "condition", 0,
+    LockSpec("server.sessions", "SessionRegistry", "_lock", "lock", 0,
+             "server/session.py"),
+    LockSpec("governor", "MemoryGovernor", "_cond", "condition", 1,
              "governor/__init__.py"),
-    LockSpec("cache", "PlanCache", "_lock", "rlock", 1, "cache/plan_cache.py"),
-    LockSpec("obs.metrics", "MetricsRegistry", "_lock", "lock", 2,
+    LockSpec("cache", "PlanCache", "_lock", "rlock", 2, "cache/plan_cache.py"),
+    LockSpec("obs.metrics", "MetricsRegistry", "_lock", "lock", 3,
              "obs/metrics.py"),
-    LockSpec("obs.trace", "Tracer", "_lock", "lock", 3, "obs/trace.py"),
-    LockSpec("spill", "SpillManager", "_lock", "lock", 4, "storage/spill.py"),
+    LockSpec("obs.trace", "Tracer", "_lock", "lock", 4, "obs/trace.py"),
+    LockSpec("spill", "SpillManager", "_lock", "lock", 5, "storage/spill.py"),
 )
 
 #: Identifier -> class-name hints the analyzer uses to resolve receivers
@@ -124,6 +130,9 @@ LOCK_ORDER: tuple[LockSpec, ...] = (
 #: program type inference.  Keep in sync with the constructor parameter
 #: names of the shared classes.
 RECEIVER_HINTS: dict[str, str] = {
+    "registry": "SessionRegistry",
+    "_registry": "SessionRegistry",
+    "sessions": "SessionRegistry",
     "governor": "MemoryGovernor",
     "plan_cache": "PlanCache",
     "cache": "PlanCache",

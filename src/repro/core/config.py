@@ -32,6 +32,15 @@ class ResiliencePolicy:
     #: Exceeding it raises :class:`~repro.common.errors.ExecutionTimeout`,
     #: which goes straight to the safe-plan fallback (no retry).
     deadline_units: Optional[float] = None
+    #: Per-*statement* wall-clock deadline in seconds; ``None`` disables
+    #: it.  Complements ``deadline_units``: the work-unit clock cannot see
+    #: real time lost to a stalled operator (a blocked socket, a slow
+    #: disk), so the wall deadline is the server's tail-latency backstop.
+    #: Statement-scoped — retries do not extend it — and, like the
+    #: work-unit deadline, never applied to the safe-plan fallback (which
+    #: must be guaranteed to complete).  Exceeding it raises
+    #: :class:`~repro.common.errors.ExecutionTimeout`.
+    deadline_seconds: Optional[float] = None
     #: Breaker: trip when the same join order ends in a re-optimization
     #: signal this many times (thrash), ...
     breaker_same_plan_limit: int = 3

@@ -208,6 +208,8 @@ class Database:
         faults=None,
         profile: bool = False,
         progress=None,
+        cancel=None,
+        plan_cache=None,
     ) -> Result:
         """Run a statement; POP is enabled by default.
 
@@ -220,12 +222,23 @@ class Database:
         report's attempts); ``progress`` (a
         :class:`repro.obs.ProgressEstimator`) receives work-budget updates
         and CHECK-point refinements while the statement runs.
+
+        ``cancel`` (a :class:`~repro.common.cancel.CancelToken`) makes the
+        statement cooperatively cancellable: admission waits, CHECK points,
+        emit sites, and blocking operator phases all poll it, and a set
+        token unwinds with
+        :class:`~repro.common.errors.ExecutionCancelled` after releasing
+        spill files and the governor reservation.  ``plan_cache`` overrides
+        the database-wide cache for this statement (the server passes a
+        per-session cache here so sessions cannot poison each other's
+        plans); pass nothing to keep using :attr:`plan_cache`.
         """
         config = pop if pop is not None else PopConfig()
+        effective_cache = plan_cache if plan_cache is not None else self.plan_cache
         stmt = None
         run_params = params
         if (
-            self.plan_cache is not None
+            effective_cache is not None
             and isinstance(statement, str)
             and cache_usable(config)
         ):
@@ -251,7 +264,9 @@ class Database:
             sizing = self.optimizer.optimize(query)
             requested = estimate_plan_memory(sizing.plan, self.cost_params)
             label = statement if isinstance(statement, str) else "query"
-            reservation = governor.admit(requested, label=str(label)[:60])
+            reservation = governor.admit(
+                requested, label=str(label)[:60], cancel=cancel
+            )
             if config.memory is None:
                 config = replace(config, memory=governor.policy)
         driver = PopDriver(
@@ -266,9 +281,10 @@ class Database:
                 meter=meter,
                 feedback=feedback,
                 faults=faults,
-                plan_cache=self.plan_cache if stmt is not None else None,
+                plan_cache=effective_cache if stmt is not None else None,
                 statement=stmt,
                 reservation=reservation,
+                cancel=cancel,
             )
         finally:
             if reservation is not None:

@@ -298,6 +298,7 @@ class PopDriver:
         plan_cache=None,
         statement=None,
         reservation=None,
+        cancel=None,
     ) -> tuple[list[tuple], PopReport]:
         """Execute ``query`` and return (rows, report).
 
@@ -322,6 +323,12 @@ class PopDriver:
         governor's budget (:class:`repro.governor.Reservation`, acquired
         and released by ``Database.execute``); with ``config.memory`` set
         it caps every operator grant and enables spill-based degradation.
+
+        ``cancel`` is an optional :class:`~repro.common.cancel.CancelToken`
+        polled at every CHECK point, emit site, and blocking-phase loop;
+        once set, the statement unwinds with
+        :class:`~repro.common.errors.ExecutionCancelled` and every spill
+        file and reservation is released on the way out.
         """
         config = self.config
         cost_model = self.optimizer.cost_model
@@ -373,6 +380,7 @@ class PopDriver:
                 plan_cache,
                 statement,
                 reservation,
+                cancel,
             )
         finally:
             if guard is not None:
@@ -435,6 +443,7 @@ class PopDriver:
         plan_cache=None,
         statement=None,
         reservation=None,
+        cancel=None,
     ) -> list[tuple]:
         """The optimize/execute loop of :meth:`run` (Figure 3), guarded."""
         tracer = self.tracer
@@ -572,6 +581,14 @@ class PopDriver:
                     if guard is not None
                     else None
                 ),
+                cancel=cancel,
+                # Statement-scoped wall deadline: set once on the first
+                # attempt, shared by every retry/re-optimization round.
+                wall_deadline=(
+                    guard.wall_deadline_for_statement()
+                    if guard is not None
+                    else None
+                ),
                 memory=config.memory,
                 reservation=reservation,
                 # One collector per attempt so re-optimized rounds stay
@@ -687,7 +704,7 @@ class PopDriver:
                     delivered.extend(
                         self._run_fallback(
                             query, params, meter, compensation, attempts,
-                            stmt_span, attempt, reservation,
+                            stmt_span, attempt, reservation, cancel,
                         )
                     )
                     return delivered
@@ -728,7 +745,7 @@ class PopDriver:
                     delivered.extend(
                         self._run_fallback(
                             query, params, meter, compensation, attempts,
-                            stmt_span, attempt, reservation,
+                            stmt_span, attempt, reservation, cancel,
                         )
                     )
                     return delivered
@@ -764,6 +781,7 @@ class PopDriver:
         stmt_span,
         attempt: int,
         reservation=None,
+        cancel=None,
     ) -> list[tuple]:
         """Run the conservative safe plan (guaranteed to complete).
 
@@ -772,6 +790,8 @@ class PopDriver:
         worst case is quadratic, no temp-MV reuse from the thrashing
         attempts), and neither fault injection nor a deadline applies: the
         guard disarmed the injector in :meth:`ExecutionGuard.request_fallback`.
+        The ``cancel`` token *does* still apply — a disconnected client has
+        no use for a safe plan's rows, so cancellation beats completion.
         """
         tracer = self.tracer
         metrics = self.metrics
@@ -815,6 +835,7 @@ class PopDriver:
                 meter=meter,
                 tracer=tracer,
                 metrics=metrics,
+                cancel=cancel,
                 memory=self.config.memory,
                 reservation=reservation,
                 profiler=ProfileCollector(meter) if self.profile else None,

@@ -72,10 +72,14 @@ class GroupByExec(Operator):
         groups: dict[tuple, tuple[_AggState, int]] = {}
         counts_star: dict[tuple, int] = {}
         n_aggs = len(plan.aggregates)
+        interruptible = self.ctx.interruptible
         while True:
             row = self.child.next()
             if row is None:
                 break
+            # Blocking aggregation drain: poll per consumed row.
+            if interruptible:
+                self.ctx.check_interrupt()
             self.ctx.meter.charge(p.cpu_agg)
             key = tuple(row[s] for s in key_slots)
             state_entry = groups.get(key)
@@ -150,6 +154,10 @@ class DistinctExec(Operator):
                 return None
             self.ctx.meter.charge(p.cpu_hash_probe)
             if row in self._seen:
+                # Duplicate-heavy streams can consume many rows between
+                # emits; poll so cancellation stays within one row's work.
+                if self.ctx.interruptible:
+                    self.ctx.check_interrupt()
                 continue
             self._seen.add(row)
             self.ctx.meter.charge(p.cpu_emit)

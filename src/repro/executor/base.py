@@ -14,8 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.common.errors import ExecutionError, ResourceExhausted
+from repro.common.errors import (
+    ExecutionCancelled,
+    ExecutionError,
+    ExecutionTimeout,
+    ResourceExhausted,
+)
 from repro.executor.meter import WorkMeter
+from repro.obs import wall_clock
 from repro.optimizer.costmodel import DEFAULT_COST_PARAMS, CostModel, CostParams
 from repro.plan.physical import PlanOp
 from repro.storage.catalog import Catalog
@@ -83,6 +89,8 @@ class ExecutionContext:
         reservation=None,
         profiler=None,
         progress=None,
+        cancel=None,
+        wall_deadline: Optional[float] = None,
     ):
         self.catalog = catalog
         self.params = params if params is not None else {}
@@ -123,6 +131,19 @@ class ExecutionContext:
         #: Absolute work-unit deadline for this attempt (guard policy);
         #: exceeded at the plan root -> :class:`ExecutionTimeout`.
         self.work_deadline = work_deadline
+        #: Optional :class:`repro.common.cancel.CancelToken`.  Checked in
+        #: :meth:`Operator.emit` (one attribute read when absent) and at
+        #: every :meth:`check_interrupt` site, so client disconnects and
+        #: ``\\kill`` unwind mid-query through the normal teardown path.
+        self.cancel = cancel
+        #: Absolute wall-clock deadline for the whole *statement* (guard
+        #: policy ``deadline_seconds``, shared across attempts); checked
+        #: at :meth:`check_interrupt` sites ->
+        #: :class:`~repro.common.errors.ExecutionTimeout`.
+        self.wall_deadline = wall_deadline
+        #: True when any interrupt source is armed: operators consult this
+        #: once per blocking loop instead of re-deriving it per row.
+        self.interruptible = cancel is not None or wall_deadline is not None
         #: Memory-pressure factor applied to every sort/hash/temp memory
         #: grant (1.0 = unconstrained).  Runtime state — mid-execution
         #: grant shrinks (e.g. chaos faults) lower it.
@@ -183,6 +204,29 @@ class ExecutionContext:
         rule ``spill-lifecycle``)."""
         if self._spill is not None:
             self._spill.close_all()
+
+    def check_interrupt(self) -> None:
+        """Raise if this statement was cancelled or out-ran its wall budget.
+
+        The cooperative interrupt point: called from the plan-root drain
+        loop, from every blocking operator phase (sort-run builds, hash
+        builds, TEMP fills, merge drains), and from CHECK evaluations, so
+        a cancel or a blown wall deadline unwinds within one row's worth
+        of work and funnels through ``run_plan``'s teardown (operators
+        closed, spill files released).  The cancel poll is one attribute
+        read; the wall probe is one monotonic-clock sample, taken only
+        when a wall deadline is armed.
+        """
+        cancel = self.cancel
+        if cancel is not None and cancel.cancelled:
+            raise ExecutionCancelled(
+                f"statement cancelled: {cancel.reason or 'cancelled'}"
+            )
+        deadline = self.wall_deadline
+        if deadline is not None and wall_clock() > deadline:
+            raise ExecutionTimeout(
+                f"wall-clock deadline exceeded ({deadline:.3f}s mark passed)"
+            )
 
     def grant_pages(self, pages: float, category: str) -> float:
         """The effective memory grant for a ``pages``-page request.
@@ -344,7 +388,18 @@ class Operator:
     # -- shared helpers ----------------------------------------------------
 
     def emit(self, row: tuple) -> tuple:
-        """Count and return one output row."""
+        """Count and return one output row.
+
+        The universal per-row funnel doubles as the cheapest cancellation
+        probe: with no token attached the added cost is one ``is None``
+        check; with one attached, a tripped token stops the pipeline at
+        the very next emitted row, wherever in the tree it happens.
+        """
+        cancel = self.ctx.cancel
+        if cancel is not None and cancel.cancelled:
+            raise ExecutionCancelled(
+                f"statement cancelled: {cancel.reason or 'cancelled'}"
+            )
         self.rows_out += 1
         return row
 

@@ -87,6 +87,11 @@ class CheckExec(Operator):
 
     def next(self) -> Optional[tuple]:
         self.require_open()
+        # CHECK points are the plan's designated reactive sites (paper §3):
+        # the same place a cardinality violation is detected is where a
+        # cancel or wall-clock deadline is honored.
+        if self.ctx.interruptible:
+            self.ctx.check_interrupt()
         row = self.child.next()
         self.ctx.meter.charge(self.ctx.cost_params.cpu_check, "check")
         if row is None:

@@ -145,10 +145,14 @@ class HashJoinExec(Operator):
         # "current implementation does not reuse hash join builds").
         self.inner.open()
         self._table = {}
+        interruptible = self.ctx.interruptible
         while True:
             row = self.inner.next()
             if row is None:
                 break
+            # Blocking build phase: poll before emit() ever sees a row.
+            if interruptible:
+                self.ctx.check_interrupt()
             self.ctx.meter.charge(p.cpu_hash_build)
             key = tuple(row[s] for s in self._inner_slots)
             if any(k is None for k in key):
@@ -218,10 +222,17 @@ class HashJoinExec(Operator):
         self.inner.open()
         self._table = {}
         build_parts = None
+        interruptible = self.ctx.interruptible
         while True:
             row = self.inner.next()
             if row is None:
                 break
+            # A kill mid-Grace-build must not leak the partition files it
+            # already created: raising here unwinds into run_plan's
+            # teardown, which closes this operator and releases the spill
+            # manager exactly once.
+            if interruptible:
+                self.ctx.check_interrupt()
             self.ctx.meter.charge(p.cpu_hash_build)
             key = self._build_key(row)
             if any(k is None for k in key):
@@ -267,10 +278,13 @@ class HashJoinExec(Operator):
         probe_parts = [
             self.ctx.spill.create("hash", f"hash-probe-p{i}") for i in range(fanout)
         ]
+        interruptible = self.ctx.interruptible
         while True:
             row = self.outer.next()
             if row is None:
                 break
+            if interruptible:
+                self.ctx.check_interrupt()
             self.ctx.meter.charge(p.cpu_hash_probe)
             key = tuple(row[s] for s in self._outer_slots)
             if any(k is None for k in key):
@@ -413,14 +427,17 @@ class MergeJoinExec(Operator):
             self._outer_slots.append(self.plan.outer.layout.slot(outer_col))
             self._inner_slots.append(self.plan.inner.layout.slot(inner_col))
 
-    @staticmethod
-    def _drain(child: Operator) -> list[tuple]:
+    def _drain(self, child: Operator) -> list[tuple]:
+        interruptible = self.ctx.interruptible
         rows = []
         while True:
             row = child.next()
             if row is None:
                 return rows
             rows.append(row)
+            # Blocking merge build: poll per drained row.
+            if interruptible:
+                self.ctx.check_interrupt()
 
     def open(self) -> None:
         super().open()

@@ -101,7 +101,16 @@ def run_plan(
     freshly built operator tree here — the single sanctioned injection
     point (see :mod:`repro.resilience`).  When the context carries a work
     deadline, it is enforced at the plan root after ``open`` and after
-    every emitted row.
+    every emitted row; a cancel token or wall-clock deadline is likewise
+    polled at the root via :meth:`ExecutionContext.check_interrupt`.
+
+    Teardown ordering matters on abort paths: every registered operator
+    is closed (a ``close`` that itself fails must not stop the remaining
+    closes — spill-backed operators close their run files there), and the
+    spill manager is released exactly once in a nested ``finally`` so a
+    cancellation mid-spill can never leak pages.  A close-time failure is
+    re-raised only when the plan otherwise completed; an in-flight
+    exception (signal, fault, cancel, timeout) is never masked by one.
     """
     root = build_executor(plan, ctx)
     if ctx.fault_injector is not None:
@@ -113,10 +122,14 @@ def run_plan(
         ctx.profiler.arm(ctx)
     rows = sink if sink is not None else []
     deadline = ctx.work_deadline
+    interruptible = ctx.interruptible
+    completed = False
     try:
         root.open()
         if deadline is not None:
             _check_deadline(ctx, deadline)
+        if interruptible:
+            ctx.check_interrupt()
         while True:
             row = root.next()
             if row is None:
@@ -124,11 +137,23 @@ def run_plan(
             rows.append(row)
             if deadline is not None:
                 _check_deadline(ctx, deadline)
+            if interruptible:
+                ctx.check_interrupt()
+        completed = True
     finally:
-        for op in ctx.operators:
-            op.close()
-        # Spill files are attempt-scoped: success and every abort path
-        # (signal, fault, timeout) release them here (contract rule
-        # ``spill-lifecycle``).
-        ctx.release_spill()
+        close_failure = None
+        try:
+            for op in ctx.operators:
+                try:
+                    op.close()
+                except Exception as exc:  # teardown must visit every operator
+                    if close_failure is None:
+                        close_failure = exc
+        finally:
+            # Spill files are attempt-scoped: success and every abort path
+            # (signal, fault, cancel, timeout — even a failing close above)
+            # release them here (contract rule ``spill-lifecycle``).
+            ctx.release_spill()
+        if completed and close_failure is not None:
+            raise close_failure
     return rows

@@ -41,10 +41,17 @@ class TableScanExec(Operator):
     def next(self) -> Optional[tuple]:
         self.require_open()
         assert self._iter is not None and self._filter is not None
+        interruptible = self.ctx.interruptible
+        rejected = 0
         for row in self._iter:
             self.ctx.meter.charge(self._charge_per_row)
             if self._filter(row):
                 return self.emit(row)
+            # Selective filters can reject long stretches without a single
+            # emit(); poll on a stride so cancel latency stays bounded.
+            rejected += 1
+            if interruptible and rejected % 256 == 0:
+                self.ctx.check_interrupt()
         self.finish()
         return None
 
@@ -144,6 +151,8 @@ class IndexScanExec(Operator):
     def next(self) -> Optional[tuple]:
         self.require_open()
         assert self._filter is not None
+        interruptible = self.ctx.interruptible
+        rejected = 0
         while self._pos < len(self._rids):
             rid = self._rids[self._pos]
             self._pos += 1
@@ -151,6 +160,9 @@ class IndexScanExec(Operator):
             row = self.table.fetch(rid)
             if self._filter(row):
                 return self.emit(row)
+            rejected += 1
+            if interruptible and rejected % 256 == 0:
+                self.ctx.check_interrupt()
         if self.plan.correlation is None:
             self.finish()
         return None
@@ -183,10 +195,15 @@ class MVScanExec(Operator):
         self.require_open()
         assert self._iter is not None and self._filter is not None
         p = self.ctx.cost_params
+        interruptible = self.ctx.interruptible
+        rejected = 0
         for row in self._iter:
             self.ctx.meter.charge(p.cpu_temp_scan)
             if self._filter(row):
                 return self.emit(row)
+            rejected += 1
+            if interruptible and rejected % 256 == 0:
+                self.ctx.check_interrupt()
         self.finish()
         return None
 

@@ -81,12 +81,17 @@ class SortExec(Operator):
             self._open_external()
             return
         p = self.ctx.cost_params
+        interruptible = self.ctx.interruptible
         rows: list[tuple] = []
         while True:
             row = self.child.next()
             if row is None:
                 break
             rows.append(row)
+            # Blocking build phase: no row reaches emit() until the drain
+            # finishes, so poll the interrupt sources here.
+            if interruptible:
+                self.ctx.check_interrupt()
         slots = [self.plan.layout.slot(k) for k in self.plan.keys]
         # Stable multi-key sort honoring per-key direction: sort by each key
         # from least to most significant.
@@ -110,6 +115,7 @@ class SortExec(Operator):
         grant = self.ctx.grant_pages(p.sort_mem_pages, "sort")
         capacity = max(1, int(grant * p.rows_per_page))
         key = self._composite_key()
+        interruptible = self.ctx.interruptible
         runs = []
         buf: list[tuple] = []
         n = 0
@@ -117,6 +123,11 @@ class SortExec(Operator):
             row = self.child.next()
             if row is None:
                 break
+            # Cancellation during the spilling build is the hard case this
+            # poll exists for: the run files created below are torn down by
+            # run_plan's finally (close + release_spill) when it raises.
+            if interruptible:
+                self.ctx.check_interrupt()
             if len(buf) >= capacity:
                 # Flush only when another row actually arrives: an input
                 # that exactly fills the grant stays in memory.

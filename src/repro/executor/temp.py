@@ -39,11 +39,15 @@ class TempExec(Operator):
         if self.ctx.spill_enabled:
             self._open_spilling()
             return
+        interruptible = self.ctx.interruptible
         rows: list[tuple] = []
         while True:
             row = self.child.next()
             if row is None:
                 break
+            # Blocking fill phase: poll per inserted row.
+            if interruptible:
+                self.ctx.check_interrupt()
             self.ctx.meter.charge(p.cpu_temp_insert, "temp")
             rows.append(row)
         pages = self.ctx.cost_model.pages_for(len(rows))
@@ -58,11 +62,16 @@ class TempExec(Operator):
         p = self.ctx.cost_params
         grant = self.ctx.grant_pages(p.temp_mem_pages, "temp")
         capacity = max(1, int(grant * p.rows_per_page))
+        interruptible = self.ctx.interruptible
         rows: list[tuple] = []
         while True:
             row = self.child.next()
             if row is None:
                 break
+            # A cancel mid-overflow must not leak the spill file: raising
+            # here unwinds into run_plan's teardown and release_spill.
+            if interruptible:
+                self.ctx.check_interrupt()
             self.ctx.meter.charge(p.cpu_temp_insert, "temp")
             if len(rows) < capacity:
                 rows.append(row)

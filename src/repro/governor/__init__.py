@@ -44,7 +44,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Optional
 
-from repro.common.errors import AdmissionRejected
+from repro.common.errors import AdmissionRejected, ExecutionCancelled
 from repro.common.locking import maybe_witness
 from repro.core.config import MemoryPolicy
 from repro.obs import wall_clock
@@ -169,17 +169,29 @@ class MemoryGovernor:
     def _used_locked(self) -> float:
         return sum(r.pages for r in self._running)
 
-    def admit(self, requested_pages: float, label: str = "stmt") -> Reservation:
+    def admit(
+        self, requested_pages: float, label: str = "stmt", cancel=None
+    ) -> Reservation:
         """Admit a statement, blocking in the bounded queue if needed.
 
         Raises :class:`AdmissionRejected` when the queue is full or the
-        wait times out — *before* any execution work has been done.
+        wait times out — *before* any execution work has been done.  A
+        ``cancel`` token (:class:`~repro.common.cancel.CancelToken`) makes
+        the queue wait interruptible: the wait is sliced so a session
+        cancel (client disconnect, ``\\kill``) raises
+        :class:`ExecutionCancelled` within ~50ms instead of holding a
+        queue slot for the full admission timeout.
         """
         p = self.policy
         ask = min(max(requested_pages, p.min_reservation_pages), p.budget_pages)
         deadline = wall_clock() + p.queue_timeout_seconds
         waited = False
         while True:
+            if cancel is not None and cancel.cancelled:
+                raise ExecutionCancelled(
+                    f"statement cancelled while awaiting admission: "
+                    f"{cancel.reason or 'cancelled'}"
+                )
             # Renegotiation callbacks collected while holding the condition;
             # dispatched after release (no callbacks under policy locks).
             pending: list = []
@@ -221,8 +233,13 @@ class MemoryGovernor:
                                 self.metrics.inc("governor.queued")
                         self._queue_depth += 1
                         self._publish_gauges_locked()
+                        # Sliced wait when a cancel token is present: wake
+                        # periodically to re-check it at the loop top.
+                        wait_for = (
+                            remaining if cancel is None else min(remaining, 0.05)
+                        )
                         try:
-                            self._cond.wait(timeout=remaining)
+                            self._cond.wait(timeout=wait_for)
                         finally:
                             self._queue_depth -= 1
             self._dispatch_shrinks(pending)

@@ -24,40 +24,27 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import zlib
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.common.chaosutil import canonical_rows, query_seed
 from repro.common.locking import active_witness
 from repro.core.config import PopConfig, ResiliencePolicy
 from repro.executor.meter import WorkMeter
 from repro.obs import MetricsRegistry, Tracer
 from repro.resilience.faults import ALL_KINDS, FaultPlan
 
+__all__ = [  # canonical_rows / query_seed re-exported for compatibility
+    "canonical_rows",
+    "query_seed",
+    "run_query_under_chaos",
+    "QueryOutcome",
+    "main",
+]
+
 #: Faults injected per query run; small enough that the guard's default
 #: retry budget can absorb a worst-case all-iterator draw via fallback.
 FAULTS_PER_QUERY = 3
-
-
-def canonical_rows(rows) -> list[tuple]:
-    """Order-insensitive form, floats at 9 significant digits.
-
-    Fault-induced re-plans legitimately change aggregation order, which
-    perturbs float sums near machine precision; 9 significant digits is
-    coarse enough to absorb that and fine enough to catch real wrong
-    results.
-    """
-    return sorted(
-        tuple(
-            float(f"{v:.9g}") if isinstance(v, float) else v for v in row
-        )
-        for row in rows
-    )
-
-
-def query_seed(chaos_seed: int, workload: str, query_name: str) -> int:
-    """Stable per-query seed (crc32 — ``hash()`` varies across processes)."""
-    return zlib.crc32(f"{chaos_seed}:{workload}:{query_name}".encode())
 
 
 @dataclass

@@ -12,8 +12,10 @@ environment) throws at it:
   exponential backoff to the :class:`~repro.executor.meter.WorkMeter`
   (category ``"backoff"``) so waiting costs work units, same as everything
   else in the deterministic clock;
-* **deadline** — each attempt gets a work-unit deadline
-  (``policy.deadline_units``); blowing it raises
+* **deadlines** — each attempt gets a work-unit deadline
+  (``policy.deadline_units``), and the whole statement gets a wall-clock
+  deadline (``policy.deadline_seconds``, shared across retries so backoff
+  cannot extend it); blowing either raises
   :class:`~repro.common.errors.ExecutionTimeout`, which routes to fallback;
 * **circuit breaker** — re-optimization thrash (the optimizer re-choosing
   the same join order ``breaker_same_plan_limit`` times, or the attempt
@@ -33,6 +35,7 @@ from typing import Optional
 
 from repro.common.errors import RESOURCE, TIMEOUT, TRANSIENT, failure_class
 from repro.core.config import ResiliencePolicy
+from repro.obs import wall_clock
 
 #: Guard decisions returned by :meth:`ExecutionGuard.on_failure`.
 RETRY = "retry"
@@ -64,6 +67,7 @@ class ExecutionGuard:
         self._join_order_counts: dict[str, int] = {}
         self._injector = None
         self._catalog = None
+        self._wall_deadline: Optional[float] = None
 
     # -------------------------------------------------------- statement scope
 
@@ -86,6 +90,22 @@ class ExecutionGuard:
         if self.policy.deadline_units is None:
             return None
         return meter.snapshot() + self.policy.deadline_units
+
+    def wall_deadline_for_statement(self) -> Optional[float]:
+        """Absolute wall-clock deadline for this statement, or None.
+
+        Computed once, on the first attempt, and returned unchanged for
+        every retry: the wall deadline bounds the statement's *total*
+        latency (the quantity a server client experiences), so backoff
+        and re-optimization rounds spend it rather than reset it.  The
+        safe-plan fallback deliberately does not consult it — fallback
+        must be guaranteed to complete (see :meth:`request_fallback`).
+        """
+        if self.policy.deadline_seconds is None:
+            return None
+        if self._wall_deadline is None:
+            self._wall_deadline = wall_clock() + self.policy.deadline_seconds
+        return self._wall_deadline
 
     # ---------------------------------------------------------------- breaker
 

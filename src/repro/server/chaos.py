@@ -1,0 +1,632 @@
+"""Connection-chaos harness for the server runtime.
+
+Five seeded scenarios drive real sockets against a live
+:class:`~repro.server.server.ReproServer` over a governed DMV database
+and audit the robustness contract the tentpole promises:
+
+``disconnect``
+    Clients vanish abruptly mid-query; survivors' rows must stay
+    oracle-identical and every orphaned statement must be cancelled.
+``slowloris``
+    A connection trickles bytes of a never-completed frame; the idle
+    reaper must close it with a classified ``timeout`` while a
+    well-behaved session keeps getting served.
+``malformed``
+    Corrupt framing (not-JSON, non-object, oversized) is answered with a
+    classified error and a hangup; *semantic* protocol errors (unknown
+    op, bad SQL) keep the connection alive.
+``overload``
+    A connection storm against tight session/queue limits; every client
+    either succeeds with oracle rows or is shed with a classified
+    ``overloaded`` — never hung, never given wrong rows.
+``killspill``
+    One session kills another mid-spilling-query; the victim's statement
+    dies as ``cancelled`` but its *session* survives and serves the next
+    statement.
+
+After each scenario the harness drains the server and asserts the
+shared invariants: the governor back to zero pages used with no
+reservations and peak within budget, zero leaked ``repro-spill-*``
+directories, the process thread count back to its baseline, and (when
+``REPRO_LOCK_WITNESS=1``) every witnessed lock edge present in the
+static lock graph with no wait-while-holding violations.
+
+Exit status is non-zero if any scenario fails — CI runs this with two
+fixed seeds::
+
+    python -m repro.server.chaos --seeds 5 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.chaosutil import canonical_rows, query_seed
+from repro.common.locking import active_witness
+from repro.core.config import MemoryPolicy, PopConfig
+from repro.server.client import ReproClient
+from repro.server.server import ReproServer, ServerConfig
+
+#: Full-table sorts and joins whose working sets cannot fit a squeezed
+#: grant — every scenario that needs pressure runs at least one of these.
+HEAVY_QUERIES = [
+    ("heavy_sort_cars",
+     "SELECT c.c_id, c.c_make, c.c_weight FROM car c "
+     "ORDER BY c.c_weight, c.c_id"),
+    ("heavy_sort_owners",
+     "SELECT o.o_id, o.o_name, o.o_zip FROM owner o "
+     "ORDER BY o.o_zip, o.o_name, o.o_id"),
+    ("heavy_join_car_owner",
+     "SELECT o.o_name, c.c_model FROM car c, owner o "
+     "WHERE c.c_owner_id = o.o_id ORDER BY o.o_name, c.c_model"),
+    ("heavy_sort_insurance",
+     "SELECT i.i_id, i.i_premium FROM insurance i "
+     "ORDER BY i.i_premium, i.i_id"),
+]
+
+#: Three-way join + sort: long enough on any machine that a kill sent a
+#: few hundredths of a second after submission lands mid-execution.
+KILL_QUERY = (
+    "kill_join3",
+    "SELECT o.o_name, c.c_model, g.g_id "
+    "FROM registration g, car c, owner o "
+    "WHERE g.g_car_id = c.c_id AND c.c_owner_id = o.o_id "
+    "ORDER BY o.o_name, c.c_model, g.g_id",
+)
+
+#: Cheap point-ish query used to prove a session is still alive.
+LIGHT_QUERY = (
+    "light_heavy_cars",
+    "SELECT c.c_id, c.c_make FROM car c WHERE c.c_weight > 3800 "
+    "ORDER BY c.c_id",
+)
+
+ALL_QUERIES = HEAVY_QUERIES + [KILL_QUERY, LIGHT_QUERY]
+
+SCENARIOS = ("disconnect", "slowloris", "malformed", "overload", "killspill")
+
+
+@dataclass
+class ScenarioOutcome:
+    """One (scenario, seed) chaos run."""
+
+    scenario: str
+    chaos_seed: int
+    ok: bool
+    problems: list = field(default_factory=list)
+    detail: str = ""
+
+
+def _spill_dirs() -> set:
+    """Current ``repro-spill-*`` dirs in the system temp directory."""
+    tmp = tempfile.gettempdir()
+    try:
+        names = os.listdir(tmp)
+    except OSError:
+        return set()
+    return {n for n in names if n.startswith("repro-spill-")}
+
+
+class _Harness:
+    """One governed DMV database + live server + shared audits."""
+
+    def __init__(self, budget_fraction: float = 0.35, **config_overrides):
+        from repro.governor import estimate_plan_memory
+        from repro.sql.binder import bind_sql
+        from repro.workloads.dmv.generator import DmvScale, make_dmv_db
+
+        self.db = make_dmv_db(
+            scale=DmvScale(
+                owners=1200, cars=1600, accidents=400, violations=600,
+                insurance=1600, dealers=80, inspections=900,
+                registrations=1600,
+            ),
+            seed=7,
+        )
+        # Ungoverned single-query oracles and per-plan memory estimates.
+        config = PopConfig(reuse_policy="never")
+        self.oracle: dict = {}
+        estimates = []
+        for _name, sql in ALL_QUERIES:
+            self.oracle[sql] = canonical_rows(
+                self.db.execute(sql, pop=config).rows
+            )
+            estimates.append(
+                estimate_plan_memory(
+                    self.db.optimizer.optimize(
+                        bind_sql(sql, self.db.catalog)
+                    ).plan,
+                    self.db.cost_params,
+                )
+            )
+        policy = MemoryPolicy(
+            budget_pages=max(8.0, budget_fraction * max(estimates)),
+            min_reservation_pages=4.0,
+            min_grant_pages=2.0,
+            max_queue_depth=64,
+            queue_timeout_seconds=120.0,
+        )
+        self.budget_pages = policy.budget_pages
+        self.governor = self.db.enable_memory_governor(policy=policy)
+        # Baselines *before* the server spawns anything.
+        self.spill_baseline = _spill_dirs()
+        self.thread_baseline = threading.active_count()
+        self.server = ReproServer(self.db, ServerConfig(**config_overrides))
+        self.host, self.port = self.server.start()
+
+    def client(self, timeout: float = 60.0) -> ReproClient:
+        return ReproClient(self.host, self.port, timeout=timeout)
+
+    def check_rows(self, response: Optional[dict], sql: str) -> Optional[str]:
+        """``None`` if ``response`` is a success with oracle rows."""
+        if response is None:
+            return "connection died awaiting the response"
+        if not response.get("ok"):
+            return (
+                f"classified {response.get('error_class')!r}: "
+                f"{response.get('error')}"
+            )
+        if canonical_rows(response.get("rows", [])) != self.oracle[sql]:
+            return "rows diverge from oracle"
+        return None
+
+    def finish(self, problems: list) -> None:
+        """Drain the server, then audit the shared invariants."""
+        self.server.shutdown(drain=True)
+        # Threads unwind asynchronously after join-with-timeout; give
+        # stragglers a bounded settling window before calling it a leak.
+        pause = threading.Event()
+        for _ in range(100):
+            if threading.active_count() <= self.thread_baseline:
+                break
+            pause.wait(0.02)
+        if threading.active_count() > self.thread_baseline:
+            leftover = sorted(
+                t.name for t in threading.enumerate() if t.name != "MainThread"
+            )
+            problems.append(
+                f"thread leak: {threading.active_count()} alive vs baseline "
+                f"{self.thread_baseline}: {leftover}"
+            )
+        snap = self.governor.snapshot()
+        if snap["used_pages"] != 0 or snap["reservations"]:
+            problems.append(
+                f"governor not drained: used={snap['used_pages']} "
+                f"reservations={snap['reservations']}"
+            )
+        if snap["peak_pages"] > self.budget_pages + 1e-9:
+            problems.append(
+                f"budget exceeded: peak {snap['peak_pages']:.1f} pages over "
+                f"budget {self.budget_pages:.1f}"
+            )
+        self.db.disable_memory_governor()
+        leaked = _spill_dirs() - self.spill_baseline
+        if leaked:
+            problems.append(f"leaked spill dirs: {sorted(leaked)}")
+        witness = active_witness()
+        if witness is not None:
+            # Cross-check the runtime witness against the static analyzer:
+            # an edge observed live but absent from the static lock graph
+            # is a static-analysis false negative.
+            from repro.analysis.concurrency import static_lock_graph
+
+            unexpected = witness.edges() - static_lock_graph()
+            if unexpected:
+                problems.append(
+                    "witness observed lock edge(s) missing from the static "
+                    f"lock graph: {sorted(unexpected)}"
+                )
+            for violation in witness.wait_violations():
+                problems.append(
+                    f"witness saw wait on {violation.waiting_on!r} while "
+                    f"holding {violation.held}"
+                )
+
+
+# --------------------------------------------------------------- scenarios
+
+
+def run_disconnect(seed: int, clients: int = 6) -> ScenarioOutcome:
+    """Abrupt disconnects mid-query: survivors exact, orphans cancelled."""
+    h = _Harness(
+        max_sessions=clients + 2,
+        workers=4,
+        statement_timeout_seconds=120.0,
+        idle_timeout_seconds=120.0,
+    )
+    rng = random.Random(query_seed(seed, "server", "disconnect"))
+    plans = [
+        (
+            tid,
+            *HEAVY_QUERIES[rng.randrange(len(HEAVY_QUERIES))],
+            tid % 2 == 1,  # odd clients vanish right after submitting
+        )
+        for tid in range(clients)
+    ]
+    problems: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def worker(tid: int, name: str, sql: str, quitter: bool) -> None:
+        barrier.wait()
+        try:
+            cli = h.client()
+        except OSError as exc:
+            with lock:
+                problems.append(f"client {tid}: connect failed: {exc}")
+            return
+        try:
+            cli.send_frame({"op": "execute", "sql": sql, "id": tid})
+            if quitter:
+                cli.drop()  # vanish with the statement in flight
+                return
+            fault = h.check_rows(cli.recv(), sql)
+            if fault is not None:
+                with lock:
+                    problems.append(f"client {tid} {name}: {fault}")
+            cli.close()
+        except OSError as exc:
+            with lock:
+                problems.append(f"client {tid}: socket error: {exc}")
+
+    pool = [
+        threading.Thread(target=worker, args=plan, name=f"chaos-disc-{plan[0]}")
+        for plan in plans
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    # Give the server a moment to observe EOFs and cancel the orphans.
+    pause = threading.Event()
+    for _ in range(200):
+        if h.server.registry.running_count() == 0:
+            break
+        pause.wait(0.02)
+    cancelled = h.server.metrics.total("server.cancelled")
+    if cancelled < 1:
+        problems.append(
+            "no disconnect produced a cancellation — scenario did not bite"
+        )
+    h.finish(problems)
+    return ScenarioOutcome(
+        "disconnect", seed, not problems, problems,
+        detail=f"clients={clients} cancelled={int(cancelled)}",
+    )
+
+
+def run_slowloris(seed: int) -> ScenarioOutcome:
+    """A trickling half-frame must be idle-reaped; others stay served."""
+    h = _Harness(
+        max_sessions=4,
+        workers=2,
+        idle_timeout_seconds=0.4,
+        reap_interval_seconds=0.05,
+        statement_timeout_seconds=120.0,
+    )
+    problems: list = []
+    attacker = h.client(timeout=30.0)
+    attacker.send_raw(b'{"op": "exe')  # frame never completed
+    stop_trickle = threading.Event()
+
+    def trickle() -> None:
+        while not stop_trickle.wait(0.05):
+            try:
+                attacker.send_raw(b"c")
+            except OSError:
+                return  # server hung up on us — the desired outcome
+
+    trickler = threading.Thread(target=trickle, name="chaos-slowloris")
+    trickler.start()
+    try:
+        # While the attacker dangles, a well-behaved session is served.
+        normal = h.client()
+        _name, sql = LIGHT_QUERY
+        fault = h.check_rows(normal.execute(sql), sql)
+        if fault is not None:
+            problems.append(f"normal client starved during slowloris: {fault}")
+        normal.close()
+        # The reaper's goodbye frame is classified as a timeout.
+        try:
+            goodbye = attacker.recv()
+        except OSError:
+            goodbye = None
+        if goodbye is not None and goodbye.get("error_class") != "timeout":
+            problems.append(
+                f"slowloris reaped without a classified timeout: {goodbye}"
+            )
+    finally:
+        stop_trickle.set()
+        trickler.join()
+        attacker.drop()
+    # The reaper (not the attacker giving up) must have closed it.
+    pause = threading.Event()
+    for _ in range(100):
+        if h.server.metrics.total("server.idle_reaped") >= 1:
+            break
+        pause.wait(0.02)
+    reaped = h.server.metrics.total("server.idle_reaped")
+    if reaped < 1:
+        problems.append("idle reaper never fired on the slowloris connection")
+    h.finish(problems)
+    return ScenarioOutcome(
+        "slowloris", seed, not problems, problems,
+        detail=f"reaped={int(reaped)}",
+    )
+
+
+def run_malformed(seed: int) -> ScenarioOutcome:
+    """Corrupt framing hangs up classified; semantic errors keep going."""
+    h = _Harness(max_sessions=6, workers=2, statement_timeout_seconds=120.0)
+    problems: list = []
+
+    # Framing-level corruption: classified "user" error, then hangup.
+    for label, payload in (
+        ("not-json", b"this is not a frame\n"),
+        ("non-object", b"[1, 2, 3]\n"),
+    ):
+        cli = h.client()
+        try:
+            cli.send_raw(payload)
+            resp = cli.recv()
+            if resp is None or resp.get("error_class") != "user":
+                problems.append(
+                    f"{label}: wanted a classified user error, got {resp}"
+                )
+            elif cli.recv() is not None:
+                problems.append(f"{label}: server kept a corrupt connection")
+        except OSError as exc:
+            problems.append(f"{label}: socket error: {exc}")
+        cli.drop()
+
+    # Oversized frame: shed before the buffer grows unboundedly.  The
+    # server may RST while we are still sending — that counts as shed.
+    cli = h.client()
+    try:
+        cli.send_raw(b'{"op": "execute", "sql": "' + b"x" * (80 * 1024))
+        resp = cli.recv()
+        if resp is not None and resp.get("error_class") != "user":
+            problems.append(f"oversized: unclassified response {resp}")
+    except OSError:
+        pass
+    cli.drop()
+
+    # Semantic errors: connection survives, next request is served.
+    cli = h.client()
+    try:
+        resp = cli.request({"op": "frobnicate"})
+        if resp is None or resp.get("error_class") != "user":
+            problems.append(f"unknown op: wanted user error, got {resp}")
+        resp = cli.execute("SELECT nonsense FROM nowhere")
+        if resp is None or resp.get("ok"):
+            problems.append(f"bad SQL: wanted a classified error, got {resp}")
+        resp = cli.ping()
+        if resp is None or not resp.get("ok"):
+            problems.append(
+                f"connection did not survive semantic errors: {resp}"
+            )
+        cli.close()
+    except OSError as exc:
+        problems.append(f"semantic-error client: socket error: {exc}")
+
+    # And the server still serves a clean client afterwards.
+    cli = h.client()
+    _name, sql = LIGHT_QUERY
+    fault = h.check_rows(cli.execute(sql), sql)
+    if fault is not None:
+        problems.append(f"server unhealthy after malformed input: {fault}")
+    cli.close()
+    errors = h.server.metrics.total("server.protocol_errors")
+    if errors < 2:
+        problems.append(
+            f"expected >=2 framing protocol errors counted, saw {int(errors)}"
+        )
+    h.finish(problems)
+    return ScenarioOutcome(
+        "malformed", seed, not problems, problems,
+        detail=f"protocol_errors={int(errors)}",
+    )
+
+
+def run_overload(seed: int, clients: int = 10) -> ScenarioOutcome:
+    """Storm vs tight limits: every client succeeds exactly or is shed."""
+    h = _Harness(
+        max_sessions=4,
+        workers=2,
+        max_pending_statements=2,
+        statement_timeout_seconds=120.0,
+        idle_timeout_seconds=120.0,
+    )
+    rng = random.Random(query_seed(seed, "server", "overload"))
+    picks = [
+        HEAVY_QUERIES[rng.randrange(len(HEAVY_QUERIES))]
+        for _ in range(clients)
+    ]
+    counts = {"ok": 0, "shed": 0}
+    problems: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def worker(tid: int, name: str, sql: str) -> None:
+        barrier.wait()
+        try:
+            cli = h.client()
+        except OSError as exc:
+            with lock:
+                problems.append(f"storm client {tid}: connect failed: {exc}")
+            return
+        try:
+            if cli.session_id is None:
+                # Refused at accept — must be a classified shed.
+                greeting = cli.greeting or {}
+                if greeting.get("error_class") == "overloaded":
+                    with lock:
+                        counts["shed"] += 1
+                else:
+                    with lock:
+                        problems.append(
+                            f"storm client {tid}: refused without "
+                            f"classification: {greeting}"
+                        )
+                return
+            resp = cli.execute(sql, request_id=tid)
+            if resp is None:
+                with lock:
+                    problems.append(f"storm client {tid}: connection died")
+            elif resp.get("ok"):
+                if canonical_rows(resp["rows"]) != h.oracle[sql]:
+                    with lock:
+                        problems.append(
+                            f"storm client {tid} {name}: rows diverge"
+                        )
+                else:
+                    with lock:
+                        counts["ok"] += 1
+            elif resp.get("error_class") == "overloaded":
+                with lock:
+                    counts["shed"] += 1
+            else:
+                with lock:
+                    problems.append(
+                        f"storm client {tid} {name}: unexpected failure "
+                        f"{resp.get('error_class')!r}: {resp.get('error')}"
+                    )
+        except OSError as exc:
+            with lock:
+                problems.append(f"storm client {tid}: socket error: {exc}")
+        finally:
+            cli.drop()
+
+    pool = [
+        threading.Thread(
+            target=worker, args=(tid, *picks[tid]), name=f"chaos-storm-{tid}"
+        )
+        for tid in range(clients)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    if counts["ok"] == 0:
+        problems.append("storm produced zero successful statements")
+    if counts["shed"] == 0:
+        problems.append("storm produced zero sheds — limits not exercised")
+    h.finish(problems)
+    return ScenarioOutcome(
+        "overload", seed, not problems, problems,
+        detail=f"clients={clients} ok={counts['ok']} shed={counts['shed']}",
+    )
+
+
+def run_killspill(seed: int) -> ScenarioOutcome:
+    """Kill a spilling statement: it dies cancelled, the session lives."""
+    h = _Harness(
+        budget_fraction=0.25,  # squeeze harder so the victim must spill
+        max_sessions=4,
+        workers=2,
+        statement_timeout_seconds=120.0,
+        idle_timeout_seconds=120.0,
+    )
+    problems: list = []
+    victim = h.client()
+    killer = h.client()
+    name, sql = KILL_QUERY
+    try:
+        victim.send_frame({"op": "execute", "sql": sql, "id": "victim"})
+        threading.Event().wait(0.05)  # let the spilling build phase start
+        resp = killer.kill(victim.session_id)
+        if resp is None or not resp.get("ok"):
+            problems.append(f"kill op failed: {resp}")
+        answer = victim.recv()
+        if answer is None:
+            problems.append(
+                "victim connection died instead of getting a classified error"
+            )
+        elif answer.get("ok"):
+            problems.append(
+                f"victim statement {name} completed before the kill landed "
+                "— scenario did not bite"
+            )
+        elif answer.get("error_class") != "cancelled":
+            problems.append(
+                f"kill produced class {answer.get('error_class')!r}, "
+                "wanted 'cancelled'"
+            )
+        # The statement died; the session must not have.
+        _lname, light_sql = LIGHT_QUERY
+        fault = h.check_rows(
+            victim.execute(light_sql, request_id="after-kill"), light_sql
+        )
+        if fault is not None:
+            problems.append(f"victim session unusable after kill: {fault}")
+        victim.close()
+        killer.close()
+    except OSError as exc:
+        problems.append(f"socket error during killspill: {exc}")
+    kills = h.server.metrics.total("server.kills")
+    if kills < 1:
+        problems.append("kill op not counted in server.kills")
+    h.finish(problems)
+    return ScenarioOutcome(
+        "killspill", seed, not problems, problems, detail=f"kills={int(kills)}"
+    )
+
+
+_RUNNERS = {
+    "disconnect": run_disconnect,
+    "slowloris": run_slowloris,
+    "malformed": run_malformed,
+    "overload": run_overload,
+    "killspill": run_killspill,
+}
+
+
+def run_all(seeds, scenarios=SCENARIOS, verbose: bool = True) -> list:
+    outcomes = []
+    for seed in seeds:
+        for scenario in scenarios:
+            outcome = _RUNNERS[scenario](seed)
+            outcomes.append(outcome)
+            if verbose:
+                status = "ok" if outcome.ok else "FAIL"
+                print(
+                    f"  [{status}] server/{scenario} seed={seed} "
+                    f"{outcome.detail}"
+                )
+                for problem in outcome.problems:
+                    print(f"         - {problem}")
+    return outcomes
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.chaos",
+        description="Connection-chaos harness for the server runtime.",
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=[5, 6])
+    parser.add_argument(
+        "--scenario", choices=SCENARIOS, action="append", default=None,
+        help="run only these scenarios (repeatable; default: all)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    scenarios = tuple(args.scenario) if args.scenario else SCENARIOS
+    outcomes = run_all(args.seeds, scenarios, verbose=not args.quiet)
+    failed = [o for o in outcomes if not o.ok]
+    if not args.quiet:
+        print(
+            f"server chaos: {len(outcomes) - len(failed)}/{len(outcomes)} "
+            f"scenario runs ok"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""A minimal blocking client for the repro server.
+
+Used by the test suite and the connection-chaos harness; deliberately
+thin — one socket, one frame at a time, raw dict responses so callers can
+branch on ``ok`` / ``error_class`` themselves.  The chaos harness also
+uses the low-level :meth:`ReproClient.send_raw` / :meth:`ReproClient.drop`
+surface to misbehave on purpose (partial frames, abrupt disconnects).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Optional
+
+from repro.server.protocol import FrameReader, encode_frame
+
+
+class ReproClient:
+    """One connection to a :class:`~repro.server.server.ReproServer`.
+
+    Reads the server's greeting frame on connect; ``session_id`` is this
+    connection's server-assigned id (``None`` if the server refused the
+    connection — inspect :attr:`greeting` for the classified error).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.reader = FrameReader(self.sock)
+        self.greeting: Optional[dict] = self.reader.read_frame()
+        self.session_id = (
+            self.greeting.get("session")
+            if isinstance(self.greeting, dict)
+            else None
+        )
+
+    # ------------------------------------------------------------ transport
+
+    def send_frame(self, payload: dict) -> None:
+        self.sock.sendall(encode_frame(payload))
+
+    def send_raw(self, data: bytes) -> None:
+        """Write arbitrary bytes — the chaos harness's misbehavior hook."""
+        self.sock.sendall(data)
+
+    def recv(self) -> Optional[dict]:
+        """Next response frame (``None`` on server-side close)."""
+        return self.reader.read_frame()
+
+    def request(self, payload: dict) -> Optional[dict]:
+        self.send_frame(payload)
+        return self.recv()
+
+    # ------------------------------------------------------------------ ops
+
+    def execute(
+        self,
+        sql: str,
+        params: Optional[dict[str, Any]] = None,
+        request_id=None,
+    ) -> Optional[dict]:
+        frame: dict = {"op": "execute", "sql": sql}
+        if params is not None:
+            frame["params"] = params
+        if request_id is not None:
+            frame["id"] = request_id
+        return self.request(frame)
+
+    def ping(self) -> Optional[dict]:
+        return self.request({"op": "ping"})
+
+    def kill(self, session_id: int) -> Optional[dict]:
+        return self.request({"op": "kill", "session": session_id})
+
+    def sessions(self) -> Optional[dict]:
+        return self.request({"op": "sessions"})
+
+    def stats(self) -> Optional[dict]:
+        return self.request({"op": "stats"})
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Polite close: ``close`` op, await the ack, drop the socket."""
+        try:
+            self.send_frame({"op": "close"})
+            self.recv()
+        except OSError:
+            pass
+        self.drop()
+
+    def drop(self) -> None:
+        """Abrupt disconnect (no close op) — the chaos harness's default."""
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,133 @@
+"""Wire protocol of the multi-session server: line-delimited JSON.
+
+Every request and every response is one UTF-8 JSON object on one
+``\\n``-terminated line.  Requests carry an ``op`` field (validated by the
+server's dispatcher, not here — responses share the same framing and have
+no ``op``) and may carry a free-form ``id`` the server echoes back on the
+matching response, so pipelining clients can correlate.
+
+Framing rules enforced by :class:`FrameReader`:
+
+* a frame longer than :data:`MAX_FRAME_BYTES` before its newline arrives
+  is a :class:`~repro.common.errors.ProtocolError` — the cap bounds the
+  per-connection buffer a hostile or broken client can pin;
+* bytes that never complete a frame never count as session activity
+  (the *server* stamps activity only on complete frames), which is what
+  defeats slowloris-style trickle connections: the idle reaper sees a
+  session that has not produced a frame and closes it;
+* EOF mid-frame is a :class:`~repro.common.errors.ProtocolError`; EOF on
+  a frame boundary is a clean close (``read_frame`` returns ``None``).
+
+Response shape::
+
+    {"ok": true,  ...payload..., "id": <echoed>}
+    {"ok": false, "error_class": "<failure class>", "error": "...", "id": ...}
+
+``error_class`` is the repo-wide failure taxonomy
+(:func:`repro.common.errors.failure_class`): ``cancelled``, ``timeout``,
+``overloaded``, ``admission``, ``user`` (parse/bind/protocol), ...
+Clients branch on the class, never on message text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.common.errors import ProtocolError, failure_class
+
+#: Hard per-frame byte cap (requests and responses are both small; result
+#: rows are the exception, and only the server sends those).
+MAX_FRAME_BYTES = 64 * 1024
+
+#: recv() granularity of :class:`FrameReader`.
+RECV_CHUNK = 4096
+
+#: Request operations the server understands (dispatch validates).
+OPS = ("ping", "execute", "kill", "sessions", "stats", "close")
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One JSON object as a newline-terminated wire frame."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(raw: bytes) -> dict:
+    """Parse one frame; anything but a JSON object is a protocol error."""
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def validate_request(frame: dict) -> str:
+    """The frame's ``op``, or a :class:`ProtocolError` naming the problem."""
+    op = frame.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of {', '.join(OPS)})"
+        )
+    return op
+
+
+class FrameReader:
+    """Incremental frame reader over a connected socket.
+
+    ``read_frame`` blocks until one complete frame arrives and returns the
+    parsed object; returns ``None`` on clean EOF; raises
+    :class:`ProtocolError` on malformed/oversized frames or EOF mid-frame,
+    and lets socket exceptions (``OSError``) propagate — a torn-down
+    socket is the caller's signal, not a protocol problem.
+    """
+
+    def __init__(self, sock, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self._sock = sock
+        self._buf = bytearray()
+        self.max_frame_bytes = max_frame_bytes
+
+    def read_frame(self) -> Optional[dict]:
+        while True:
+            idx = self._buf.find(b"\n")
+            if idx >= 0:
+                raw = bytes(self._buf[:idx])
+                del self._buf[: idx + 1]
+                if not raw.strip():
+                    continue  # blank keep-alive line
+                return decode_frame(raw)
+            if len(self._buf) >= self.max_frame_bytes:
+                raise ProtocolError(
+                    f"frame exceeds {self.max_frame_bytes} bytes "
+                    "before newline"
+                )
+            chunk = self._sock.recv(RECV_CHUNK)
+            if not chunk:
+                if self._buf.strip():
+                    raise ProtocolError("connection closed mid-frame")
+                return None
+            self._buf += chunk
+
+
+def ok_response(payload: dict, request: Optional[dict] = None) -> dict:
+    """A success frame, echoing the request's ``id`` when present."""
+    out: dict = {"ok": True}
+    out.update(payload)
+    if isinstance(request, dict) and "id" in request:
+        out["id"] = request["id"]
+    return out
+
+
+def error_response(exc: BaseException, request: Optional[dict] = None) -> dict:
+    """A failure frame classified through the repo failure taxonomy."""
+    out: dict = {
+        "ok": False,
+        "error_class": failure_class(exc),
+        "error": str(exc),
+    }
+    if isinstance(request, dict) and "id" in request:
+        out["id"] = request["id"]
+    return out

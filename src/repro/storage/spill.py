@@ -270,9 +270,14 @@ class SpillManager:
 
         Runs in ``run_plan``'s ``finally`` block, so both the success path
         and every abort path (re-optimization signal, injected fault,
-        timeout) release their disk footprint here.
+        cancellation, timeout) release their disk footprint here.
+        Strictly idempotent: the first call wins, and a second call — the
+        driver and server teardown paths may both ask — neither re-deletes
+        nor re-emits the ``spill.release`` trace event.
         """
         with self._lock:
+            if self.released:
+                return
             self.released = True
             files = list(self._files)
             directory = self._dir
