@@ -144,6 +144,7 @@ def check_source_tree(root: str) -> list[Finding]:
             findings.extend(check_float_eq(tree, rel, source=sources.get(rel)))
     findings.extend(check_iterator_contract(trees))
     findings.extend(check_close_guarded(trees))
+    findings.extend(check_batch_contract(trees))
     return findings
 
 
@@ -159,6 +160,7 @@ def check_module(source: str, filename: str = "<snippet>") -> list[Finding]:
     findings.extend(check_float_eq(tree, filename, source=source))
     findings.extend(check_iterator_contract({filename: tree}))
     findings.extend(check_close_guarded({filename: tree}))
+    findings.extend(check_batch_contract({filename: tree}))
     return findings
 
 
@@ -500,6 +502,116 @@ def check_close_guarded(trees: dict[str, ast.Module]) -> Iterator[Finding]:
                     file=rel,
                     line=sub.lineno,
                 )
+
+
+# ---------------------------------------------------------- batch-contract
+
+
+def _batch_return_ok(value: Optional[ast.expr]) -> bool:
+    """A ``next_batch`` return is legal when it is the ``None`` EOF
+    sentinel (bare return included) or funnels through
+    ``self.emit_batch(...)``."""
+    if value is None:
+        return True
+    if isinstance(value, ast.Constant) and value.value is None:
+        return True
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "emit_batch"
+        and isinstance(value.func.value, ast.Name)
+        and value.func.value.id == "self"
+    )
+
+
+def check_batch_contract(trees: dict[str, ast.Module]) -> Iterator[Finding]:
+    """Native ``next_batch`` overrides preserve row accounting and
+    CHECK-boundary invariants.
+
+    The vectorized path keeps POP semantics only if every batch operator
+    (a) returns either ``self.emit_batch(...)`` — the single place batch
+    rows enter ``rows_out`` and the cancellation token is polled — or the
+    ``None`` EOF sentinel, (b) never calls the per-row ``self.emit(...)``
+    inside ``next_batch`` (rows would be double-counted against validity
+    ranges), and (c) never pulls a child through an attribute ``.next()``
+    call: an execution must drive each child through exactly one protocol,
+    or buffered valve state and per-pull meter charges desynchronize from
+    the row-mode baseline the differential suite compares against.  The
+    builtin ``next(iterator, default)`` over plain iterators (merge
+    generators, spill readers) remains legal.
+    """
+    classes: dict[str, tuple[str, ast.ClassDef]] = {}
+    for rel, tree in trees.items():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                classes.setdefault(node.name, (rel, node))
+
+    def derives_from_operator(name: str, seen: frozenset = frozenset()) -> bool:
+        if name == "Operator":
+            return True
+        if name in seen or name not in classes:
+            return False
+        _, node = classes[name]
+        return any(
+            derives_from_operator(base, seen | {name})
+            for base in _base_names(node)
+        )
+
+    for name in sorted(classes):
+        if name == "Operator" or not derives_from_operator(name):
+            continue
+        rel, node = classes[name]
+        method = _methods(node).get("next_batch")
+        if method is None:
+            continue
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.Return):
+                if not _batch_return_ok(sub.value):
+                    yield Finding(
+                        rule="batch-contract",
+                        severity=ERROR,
+                        message=(
+                            f"{name}.next_batch() returns something other "
+                            "than self.emit_batch(...) or None: batch rows "
+                            "would bypass rows_out accounting and the "
+                            "cancellation poll"
+                        ),
+                        file=rel,
+                        line=sub.lineno,
+                    )
+            elif isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ):
+                if (
+                    sub.func.attr == "emit"
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id == "self"
+                ):
+                    yield Finding(
+                        rule="batch-contract",
+                        severity=ERROR,
+                        message=(
+                            f"{name}.next_batch() calls self.emit(): rows "
+                            "counted per-row inside the batch path are "
+                            "double-counted against validity ranges"
+                        ),
+                        file=rel,
+                        line=sub.lineno,
+                    )
+                elif sub.func.attr == "next":
+                    yield Finding(
+                        rule="batch-contract",
+                        severity=ERROR,
+                        message=(
+                            f"{name}.next_batch() pulls a child via "
+                            ".next(): batch executions must drive children "
+                            "through next_batch only (use next_batch(1) for "
+                            "demand-exact pulls), or per-pull meter charges "
+                            "and feedback bounds diverge from row mode"
+                        ),
+                        file=rel,
+                        line=sub.lineno,
+                    )
 
 
 # -------------------------------------------------------- spill lifecycle

@@ -596,6 +596,7 @@ class PopDriver:
                 # profiling sites at a single comparison).
                 profiler=ProfileCollector(meter) if self.profile else None,
                 progress=self.progress,
+                batch_size=config.batch_size,
             )
             ctx.compensation = compensation
             renegs_before = (
@@ -840,6 +841,7 @@ class PopDriver:
                 reservation=reservation,
                 profiler=ProfileCollector(meter) if self.profile else None,
                 progress=self.progress,
+                batch_size=self.config.batch_size,
             )
             ctx.compensation = compensation
             renegs_before = (

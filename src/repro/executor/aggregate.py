@@ -73,14 +73,9 @@ class GroupByExec(Operator):
         counts_star: dict[tuple, int] = {}
         n_aggs = len(plan.aggregates)
         interruptible = self.ctx.interruptible
-        while True:
-            row = self.child.next()
-            if row is None:
-                break
-            # Blocking aggregation drain: poll per consumed row.
-            if interruptible:
-                self.ctx.check_interrupt()
-            self.ctx.meter.charge(p.cpu_agg)
+        batch_size = self.ctx.batch_size
+
+        def consume(row: tuple) -> None:
             key = tuple(row[s] for s in key_slots)
             state_entry = groups.get(key)
             if state_entry is None:
@@ -93,6 +88,28 @@ class GroupByExec(Operator):
                 if slot is None:
                     continue
                 state.update(i, row[slot])
+
+        if batch_size > 0:
+            while True:
+                batch = self.child.next_batch(batch_size)
+                if batch is None:
+                    break
+                # Blocking aggregation drain: poll per consumed batch.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(len(batch) * p.cpu_agg)
+                for row in batch:
+                    consume(row)
+        else:
+            while True:
+                row = self.child.next()
+                if row is None:
+                    break
+                # Blocking aggregation drain: poll per consumed row.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(p.cpu_agg)
+                consume(row)
         if not groups and not plan.group_keys:
             groups[()] = (_AggState(n_aggs), 0)
             counts_star[()] = 0
@@ -118,6 +135,19 @@ class GroupByExec(Operator):
             return self.emit(row)
         self.finish()
         return None
+
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        assert self._results is not None
+        results = self._results
+        pos = self._pos
+        if pos >= len(results):
+            self.finish()
+            return None
+        take = min(max_rows, len(results) - pos)
+        self._pos = pos + take
+        # Result rows were charged (cpu_emit) when built at open time.
+        return self.emit_batch(results[pos:pos + take])
 
     def profile_extras(self) -> dict:
         return {
@@ -162,6 +192,30 @@ class DistinctExec(Operator):
             self._seen.add(row)
             self.ctx.meter.charge(p.cpu_emit)
             return self.emit(row)
+
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        p = self.ctx.cost_params
+        seen = self._seen
+        while True:
+            batch = self.child.next_batch(max_rows)
+            if batch is None:
+                self.finish()
+                return None
+            self.ctx.meter.charge(len(batch) * p.cpu_hash_probe)
+            out = []
+            for row in batch:
+                if row in seen:
+                    continue
+                seen.add(row)
+                out.append(row)
+            if out:
+                self.ctx.meter.charge(len(out) * p.cpu_emit)
+                return self.emit_batch(out)
+            # Duplicate-heavy streams can consume whole batches without an
+            # emit; poll so cancellation stays within one batch's work.
+            if self.ctx.interruptible:
+                self.ctx.check_interrupt()
 
     def profile_extras(self) -> dict:
         # Captured at first close, before the set above is released.

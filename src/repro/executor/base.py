@@ -91,6 +91,7 @@ class ExecutionContext:
         progress=None,
         cancel=None,
         wall_deadline: Optional[float] = None,
+        batch_size: int = 0,
     ):
         self.catalog = catalog
         self.params = params if params is not None else {}
@@ -157,6 +158,14 @@ class ExecutionContext:
         #: *current* size, so mid-query renegotiation takes effect at the
         #: next ``grant_pages`` call.
         self.reservation = reservation
+        #: Rows per batch for the vectorized drain path.  ``0`` selects the
+        #: classic row-at-a-time protocol; any positive value makes
+        #: ``run_plan`` drive the root via :meth:`Operator.next_batch` and
+        #: operators pull their children in batches of this size.  Row
+        #: accounting, CHECK semantics, and meter totals are identical in
+        #: both modes (see docs/vectorized.md); only poll granularity for
+        #: cancellation/deadlines moves to batch boundaries.
+        self.batch_size = batch_size
         self._spill = None
         #: Grants that came back smaller than requested: ``(category,
         #: requested, granted)`` triples, harvested into the attempt report.
@@ -361,6 +370,34 @@ class Operator:
         """The next output row, or ``None`` at end-of-stream."""
         raise NotImplementedError
 
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        """The next batch of 1..``max_rows`` output rows, or ``None`` at
+        end-of-stream.
+
+        Partial batches are legal anywhere in the stream, so consumers must
+        not infer EOF from a short batch — only from ``None``.  The default
+        implementation is a row-loop shim over :meth:`next`, which keeps
+        every operator (including out-of-tree ones) correct under a
+        batch-mode drain; native overrides exist purely for speed and must
+        preserve row accounting exactly: ``rows_out`` counts individual
+        rows, per-row meter charges are batched into arithmetically equal
+        bulk charges, and CHECK/cancellation semantics are unchanged (see
+        docs/vectorized.md).  Overrides return rows via
+        :meth:`emit_batch` (contract rule ``batch-contract``).
+        """
+        out = []
+        nxt = self.next
+        while len(out) < max_rows:
+            row = nxt()
+            if row is None:
+                break
+            out.append(row)
+        if not out:
+            return None
+        # Rows were already counted (and the cancel token polled) by the
+        # per-row ``emit`` calls inside ``next`` — return them as-is.
+        return out
+
     def close(self) -> None:
         """Release per-execution state.
 
@@ -403,6 +440,23 @@ class Operator:
         self.rows_out += 1
         return row
 
+    def emit_batch(self, rows: list[tuple]) -> list[tuple]:
+        """Count and return one output batch.
+
+        The batch-mode analogue of :meth:`emit`: one cancellation probe per
+        batch instead of per row (poll granularity is the *only* semantic
+        difference between the modes), and ``rows_out`` advances by the
+        individual row count so cardinality feedback harvested by POP is
+        identical to row-at-a-time execution.
+        """
+        cancel = self.ctx.cancel
+        if cancel is not None and cancel.cancelled:
+            raise ExecutionCancelled(
+                f"statement cancelled: {cancel.reason or 'cancelled'}"
+            )
+        self.rows_out += len(rows)
+        return rows
+
     def finish(self) -> None:
         """Mark end-of-stream (rows_out is now the exact edge cardinality)."""
         self.eof_seen = True
@@ -428,3 +482,4 @@ class Operator:
         attributes), like ``close``.
         """
         return {}
+

@@ -18,6 +18,7 @@ re-optimization — that is what makes ECB safe in pipelined plans.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.executor.base import (
@@ -125,6 +126,59 @@ class CheckExec(Operator):
             )
         return self.emit(row)
 
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        """Batch drain with row-exact CHECK semantics.
+
+        The counter advances by individual rows and the mid-stream
+        evaluation happens at the exact count where the row loop evaluates
+        it (the first count above ``high``), so ``observed`` — and with it
+        the harvested feedback and any re-optimized plan — is identical to
+        row mode.  To keep the *child's* emitted-row counter identical too
+        (it feeds the same edge's lower bound at harvest time), the child
+        request is capped at the rows remaining until the range can first
+        be violated: the child stops at exactly the row where row-at-a-time
+        execution stops.  Interrupt polls and the §7 work-budget trigger
+        move to batch boundaries — the documented poll-granularity
+        difference between the modes.
+        """
+        self.require_open()
+        if self.ctx.interruptible:
+            self.ctx.check_interrupt()
+        want = max_rows
+        armed = not self._disabled and not self._evaluated_once
+        rng = self.plan.check_range
+        if armed and rng.high != math.inf:
+            # Rows until the count first exceeds ``high`` (>= 1 here, since
+            # count <= high whenever the mid-stream evaluation is armed).
+            want = min(want, math.floor(rng.high) + 1 - self.count)
+        batch = self.child.next_batch(want)
+        p = self.ctx.cost_params
+        if batch is None:
+            self.ctx.meter.charge(p.cpu_check, "check")
+            self.finish()
+            if armed:
+                self._evaluate(complete=True)
+                self._evaluated_once = True
+            return None
+        n = len(batch)
+        self.ctx.meter.charge(n * p.cpu_check, "check")
+        self.count += n
+        if armed and self.count > rng.high:
+            self._evaluate(complete=False)
+            self._evaluated_once = True  # dry-run mode: log only once
+        budget = self.ctx.work_budget
+        if (
+            budget is not None
+            and not self._disabled
+            and not self.ctx.dry_run_checks
+            and self.ctx.meter.units > budget
+            and (self.ctx.rows_returned == 0 or self.plan.flavor == "ECDC")
+        ):
+            raise ReoptimizationSignal(
+                self.plan, self.count, complete=False, reason="budget"
+            )
+        return self.emit_batch(batch)
+
     def profile_extras(self) -> dict:
         return {
             "flavor": self.plan.flavor,
@@ -154,7 +208,13 @@ class BufCheckExec(Operator):
         self._buffer = []
         self._pos = 0
         self._child_eof = False
-        # Fill the valve until the check's outcome is certain.
+        # Fill the valve until the check's outcome is certain.  In batch
+        # mode the child is pulled through ``next_batch(1)`` — single-row
+        # batches keep the pull count (and the child's emitted-row counter,
+        # which feeds cardinality harvesting) exactly equal to row mode
+        # while still driving the child's one-protocol-per-execution batch
+        # path.
+        batch_mode = self.ctx.batch_size > 0
         count = 0
         triggered = False
         complete = False
@@ -168,7 +228,11 @@ class BufCheckExec(Operator):
                 # Buffer exhausted without a verdict; optimistically succeed
                 # and continue pipelined (the ECB "morphs into" streaming).
                 break
-            row = self.child.next()
+            if batch_mode:
+                one = self.child.next_batch(1)
+                row = one[0] if one else None
+            else:
+                row = self.child.next()
             self.ctx.meter.charge(p.cpu_check + p.cpu_temp_insert, "check")
             if row is None:
                 self._child_eof = True
@@ -213,6 +277,28 @@ class BufCheckExec(Operator):
             self.finish()
             return None
         return self.emit(row)
+
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        p = self.ctx.cost_params
+        buf = self._buffer
+        if self._pos < len(buf):
+            take = min(max_rows, len(buf) - self._pos)
+            out = buf[self._pos:self._pos + take]
+            self._pos += take
+            self.ctx.meter.charge(take * p.cpu_temp_scan, "check")
+            return self.emit_batch(out)
+        if self._child_eof:
+            self.finish()
+            return None
+        batch = self.child.next_batch(max_rows)
+        if batch is None:
+            self.ctx.meter.charge(p.cpu_check, "check")
+            self._child_eof = True
+            self.finish()
+            return None
+        self.ctx.meter.charge(len(batch) * p.cpu_check, "check")
+        return self.emit_batch(batch)
 
     def profile_extras(self) -> dict:
         return {

@@ -11,6 +11,7 @@ flavor of the degradation ladder) past the recursion depth cap.
 from __future__ import annotations
 
 import zlib
+from itertools import islice
 from typing import Optional
 
 from repro.common.errors import ExecutionError
@@ -47,6 +48,10 @@ class NLJoinExec(Operator):
         self._outer_row: Optional[tuple] = None
         self._residual = None
         self._outer_key_slot: Optional[int] = None
+        #: Batch mode: latched on outer EOF so a follow-up ``next_batch``
+        #: call (after a partial batch was returned) never re-pulls an
+        #: exhausted outer — a CHECK below would charge its EOF pull twice.
+        self._outer_eof = False
 
     def open(self) -> None:
         super().open()
@@ -67,18 +72,36 @@ class NLJoinExec(Operator):
             residual = plan.join_predicates
         self._residual = compile_conjunction(residual, plan.layout, self.ctx.params)
         self._outer_row = None
+        self._outer_eof = False
 
-    def _advance_outer(self) -> bool:
-        row = self.outer.next()
-        if row is None:
-            self._outer_row = None
-            return False
+    def _bind_outer(self, row: tuple) -> None:
         self._outer_row = row
         if self.plan.method == "index":
             assert self._outer_key_slot is not None
             self.inner.rebind(row[self._outer_key_slot])  # type: ignore[attr-defined]
         else:
             self.inner.reset()  # type: ignore[attr-defined]
+
+    def _advance_outer(self) -> bool:
+        row = self.outer.next()
+        if row is None:
+            self._outer_row = None
+            return False
+        self._bind_outer(row)
+        return True
+
+    def _advance_outer_batch(self) -> bool:
+        if self._outer_eof:
+            return False
+        # Single-row outer pulls: the outer must advance one row at a time
+        # (each row rebinds the inner), and ``next_batch(1)`` keeps the
+        # outer's emitted-row counter exactly demand-driven like row mode.
+        one = self.outer.next_batch(1)
+        if not one:
+            self._outer_row = None
+            self._outer_eof = True
+            return False
+        self._bind_outer(one[0])
         return True
 
     def next(self) -> Optional[tuple]:
@@ -99,6 +122,33 @@ class NLJoinExec(Operator):
                 self.ctx.meter.charge(p.cpu_emit)
                 return self.emit(joined)
 
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        assert self._residual is not None
+        residual = self._residual
+        out: list[tuple] = []
+        while len(out) < max_rows:
+            if self._outer_row is None:
+                if not self._advance_outer_batch():
+                    break
+            # Inner request capped at the rows still wanted so the output
+            # never overshoots ``max_rows``; the inner is drained to EOF
+            # per outer row across calls regardless of request size.
+            inner_batch = self.inner.next_batch(max_rows - len(out))
+            if inner_batch is None:
+                self._outer_row = None
+                continue
+            orow = self._outer_row
+            for inner_row in inner_batch:
+                joined = orow + inner_row
+                if residual(joined):
+                    out.append(joined)
+        if out:
+            self.ctx.meter.charge(len(out) * self.ctx.cost_params.cpu_emit)
+            return self.emit_batch(out)
+        self.finish()
+        return None
+
     def profile_extras(self) -> dict:
         return {"method": self.plan.method, "outer_rows": self.outer.rows_out}
 
@@ -116,6 +166,13 @@ class HashJoinExec(Operator):
         self._matches: list[tuple] = []
         self._match_pos = 0
         self._outer_row: Optional[tuple] = None
+        #: Batch mode: outer rows pulled but not yet probed (a batch is
+        #: charged and buffered whole, then probed row by row so the
+        #: match-serving state machine stays identical to row mode).
+        self._outer_pending: list[tuple] = []
+        self._pending_pos = 0
+        #: Batch mode: latched on outer EOF (see NLJoinExec._outer_eof).
+        self._outer_eof = False
         self._outer_slots: list[int] = []
         self._inner_slots: list[int] = []
         self.spilled = False
@@ -146,19 +203,38 @@ class HashJoinExec(Operator):
         self.inner.open()
         self._table = {}
         interruptible = self.ctx.interruptible
-        while True:
-            row = self.inner.next()
-            if row is None:
-                break
-            # Blocking build phase: poll before emit() ever sees a row.
-            if interruptible:
-                self.ctx.check_interrupt()
-            self.ctx.meter.charge(p.cpu_hash_build)
-            key = tuple(row[s] for s in self._inner_slots)
-            if any(k is None for k in key):
-                continue
-            self._table.setdefault(key, []).append(row)
-            self._build_rows += 1
+        batch_size = self.ctx.batch_size
+        if batch_size > 0:
+            # Vectorized build drain: per-batch poll and one bulk
+            # cpu_hash_build charge per batch (equal totals to the loop
+            # below, which charges per drained row).
+            while True:
+                batch = self.inner.next_batch(batch_size)
+                if batch is None:
+                    break
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(len(batch) * p.cpu_hash_build)
+                for row in batch:
+                    key = tuple(row[s] for s in self._inner_slots)
+                    if any(k is None for k in key):
+                        continue
+                    self._table.setdefault(key, []).append(row)
+                    self._build_rows += 1
+        else:
+            while True:
+                row = self.inner.next()
+                if row is None:
+                    break
+                # Blocking build phase: poll before emit() ever sees a row.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(p.cpu_hash_build)
+                key = tuple(row[s] for s in self._inner_slots)
+                if any(k is None for k in key):
+                    continue
+                self._table.setdefault(key, []).append(row)
+                self._build_rows += 1
         self._build_complete = True
         self._charge_spill(self._build_rows)
         self.outer.open()
@@ -169,6 +245,8 @@ class HashJoinExec(Operator):
         self._table = {}
         self._matches = []
         self._match_pos = 0
+        self._outer_pending = []
+        self._pending_pos = 0
         self._result_iter = None
 
     def _charge_spill(self, build_rows: int) -> None:
@@ -223,27 +301,52 @@ class HashJoinExec(Operator):
         self._table = {}
         build_parts = None
         interruptible = self.ctx.interruptible
-        while True:
-            row = self.inner.next()
-            if row is None:
-                break
-            # A kill mid-Grace-build must not leak the partition files it
-            # already created: raising here unwinds into run_plan's
-            # teardown, which closes this operator and releases the spill
-            # manager exactly once.
-            if interruptible:
-                self.ctx.check_interrupt()
-            self.ctx.meter.charge(p.cpu_hash_build)
-            key = self._build_key(row)
-            if any(k is None for k in key):
-                continue
-            self._build_rows += 1
-            if build_parts is None:
-                self._table.setdefault(key, []).append(row)
-                if self._build_rows > capacity:
-                    build_parts = self._spill_table(fanout)
-            else:
-                build_parts[_partition_of(key, 0, fanout)].append(row)
+        batch_size = self.ctx.batch_size
+        if batch_size > 0:
+            while True:
+                batch = self.inner.next_batch(batch_size)
+                if batch is None:
+                    break
+                # A kill mid-Grace-build must not leak the partition files
+                # it already created: raising here unwinds into run_plan's
+                # teardown, which closes this operator and releases the
+                # spill manager exactly once.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(len(batch) * p.cpu_hash_build)
+                for row in batch:
+                    key = self._build_key(row)
+                    if any(k is None for k in key):
+                        continue
+                    self._build_rows += 1
+                    if build_parts is None:
+                        self._table.setdefault(key, []).append(row)
+                        if self._build_rows > capacity:
+                            build_parts = self._spill_table(fanout)
+                    else:
+                        build_parts[_partition_of(key, 0, fanout)].append(row)
+        else:
+            while True:
+                row = self.inner.next()
+                if row is None:
+                    break
+                # A kill mid-Grace-build must not leak the partition files
+                # it already created: raising here unwinds into run_plan's
+                # teardown, which closes this operator and releases the
+                # spill manager exactly once.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(p.cpu_hash_build)
+                key = self._build_key(row)
+                if any(k is None for k in key):
+                    continue
+                self._build_rows += 1
+                if build_parts is None:
+                    self._table.setdefault(key, []).append(row)
+                    if self._build_rows > capacity:
+                        build_parts = self._spill_table(fanout)
+                else:
+                    build_parts[_partition_of(key, 0, fanout)].append(row)
         self._build_complete = True
         # Mid-build pressure re-check: the grant may have shrunk while the
         # build was draining; a table that no longer fits spills now.
@@ -279,17 +382,32 @@ class HashJoinExec(Operator):
             self.ctx.spill.create("hash", f"hash-probe-p{i}") for i in range(fanout)
         ]
         interruptible = self.ctx.interruptible
-        while True:
-            row = self.outer.next()
-            if row is None:
-                break
-            if interruptible:
-                self.ctx.check_interrupt()
-            self.ctx.meter.charge(p.cpu_hash_probe)
-            key = tuple(row[s] for s in self._outer_slots)
-            if any(k is None for k in key):
-                continue
-            probe_parts[_partition_of(key, 0, fanout)].append(row)
+        batch_size = self.ctx.batch_size
+        if batch_size > 0:
+            while True:
+                batch = self.outer.next_batch(batch_size)
+                if batch is None:
+                    break
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(len(batch) * p.cpu_hash_probe)
+                for row in batch:
+                    key = tuple(row[s] for s in self._outer_slots)
+                    if any(k is None for k in key):
+                        continue
+                    probe_parts[_partition_of(key, 0, fanout)].append(row)
+        else:
+            while True:
+                row = self.outer.next()
+                if row is None:
+                    break
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(p.cpu_hash_probe)
+                key = tuple(row[s] for s in self._outer_slots)
+                if any(k is None for k in key):
+                    continue
+                probe_parts[_partition_of(key, 0, fanout)].append(row)
         for part in probe_parts:
             part.close()
         for build, probe in zip(build_parts, probe_parts):
@@ -391,6 +509,56 @@ class HashJoinExec(Operator):
             self._matches = self._table.get(key, [])
             self._match_pos = 0
 
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        p = self.ctx.cost_params
+        if self._result_iter is not None:
+            out = list(islice(self._result_iter, max_rows))
+            if not out:
+                self.finish()
+                return None
+            self.ctx.meter.charge(len(out) * p.cpu_emit)
+            return self.emit_batch(out)
+        out: list[tuple] = []
+        table = self._table
+        slots = self._outer_slots
+        probe_charge = p.cpu_hash_probe + self._probe_spill_per_row
+        while len(out) < max_rows:
+            if self._match_pos < len(self._matches):
+                orow = self._outer_row
+                assert orow is not None
+                mp = self._match_pos
+                take = min(max_rows - len(out), len(self._matches) - mp)
+                out.extend(orow + m for m in self._matches[mp:mp + take])
+                self._match_pos = mp + take
+                continue
+            if self._pending_pos < len(self._outer_pending):
+                row = self._outer_pending[self._pending_pos]
+                self._pending_pos += 1
+                key = tuple(row[s] for s in slots)
+                if any(k is None for k in key):
+                    continue
+                self._outer_row = row
+                self._matches = table.get(key, [])
+                self._match_pos = 0
+                continue
+            if self._outer_eof:
+                break
+            # Outer request capped at the rows still wanted: the pull is
+            # demand-driven like row mode up to one batch of slack.
+            batch = self.outer.next_batch(max_rows - len(out))
+            if batch is None:
+                self._outer_eof = True
+                break
+            self.ctx.meter.charge(len(batch) * probe_charge)
+            self._outer_pending = batch
+            self._pending_pos = 0
+        if out:
+            self.ctx.meter.charge(len(out) * p.cpu_emit)
+            return self.emit_batch(out)
+        self.finish()
+        return None
+
     def profile_extras(self) -> dict:
         return {
             "build_rows": self._build_rows,
@@ -429,7 +597,17 @@ class MergeJoinExec(Operator):
 
     def _drain(self, child: Operator) -> list[tuple]:
         interruptible = self.ctx.interruptible
-        rows = []
+        rows: list[tuple] = []
+        batch_size = self.ctx.batch_size
+        if batch_size > 0:
+            while True:
+                batch = child.next_batch(batch_size)
+                if batch is None:
+                    return rows
+                rows.extend(batch)
+                # Blocking merge build: poll per drained batch.
+                if interruptible:
+                    self.ctx.check_interrupt()
         while True:
             row = child.next()
             if row is None:
@@ -487,6 +665,18 @@ class MergeJoinExec(Operator):
             return self.emit(row)
         self.finish()
         return None
+
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        output = self._output
+        pos = self._pos
+        if pos >= len(output):
+            self.finish()
+            return None
+        take = min(max_rows, len(output) - pos)
+        self._pos = pos + take
+        self.ctx.meter.charge(take * self.ctx.cost_params.cpu_emit)
+        return self.emit_batch(output[pos:pos + take])
 
     def close(self) -> None:
         """Release the merged output buffer (idempotent)."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import operator as _operator
 from collections import Counter
 from typing import Optional
 
@@ -17,6 +18,13 @@ class ProjectExec(Operator):
         self.child = child
         child_layout = plan.children[0].layout
         self._slots = [child_layout.slot(c) for c in plan.columns]
+        # Compiled once: the batch path applies one C-level itemgetter per
+        # row instead of rebuilding a generator expression per call.
+        if len(self._slots) == 1:
+            slot = self._slots[0]
+            self._proj = lambda row: (row[slot],)
+        else:
+            self._proj = _operator.itemgetter(*self._slots)
 
     def open(self) -> None:
         super().open()
@@ -30,6 +38,17 @@ class ProjectExec(Operator):
             return None
         self.ctx.meter.charge(self.ctx.cost_params.cpu_emit)
         return self.emit(tuple(row[s] for s in self._slots))
+
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        batch = self.child.next_batch(max_rows)
+        if batch is None:
+            self.finish()
+            return None
+        proj = self._proj
+        out = [proj(row) for row in batch]
+        self.ctx.meter.charge(len(out) * self.ctx.cost_params.cpu_emit)
+        return self.emit_batch(out)
 
 
 class HavingFilterExec(Operator):
@@ -76,6 +95,20 @@ class HavingFilterExec(Operator):
             if self._passes(row):
                 return self.emit(row)
 
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        p = self.ctx.cost_params
+        passes = self._passes
+        while True:
+            batch = self.child.next_batch(max_rows)
+            if batch is None:
+                self.finish()
+                return None
+            self.ctx.meter.charge(len(batch) * p.cpu_row)
+            out = [row for row in batch if passes(row)]
+            if out:
+                return self.emit_batch(out)
+
 
 class ReturnExec(Operator):
     """Root operator: streams rows to the application, honoring LIMIT.
@@ -104,6 +137,26 @@ class ReturnExec(Operator):
             return None
         self.ctx.rows_returned += 1
         return self.emit(row)
+
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        want = max_rows
+        limit = self.plan.limit
+        if limit is not None:
+            # Cap the child request at the rows still owed so the total
+            # child pull count matches row mode exactly (downstream CHECK
+            # counters depend on it).
+            remaining = limit - self.rows_out
+            if remaining <= 0:
+                self.finish()
+                return None
+            want = min(want, remaining)
+        batch = self.child.next_batch(want)
+        if batch is None:
+            self.finish()
+            return None
+        self.ctx.rows_returned += len(batch)
+        return self.emit_batch(batch)
 
     def profile_extras(self) -> dict:
         return {"limit": self.plan.limit}
@@ -143,6 +196,29 @@ class AntiJoinExec(Operator):
                 self.compensated += 1
                 continue
             return self.emit(row)
+
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        p = self.ctx.cost_params
+        comp = self.compensation
+        while True:
+            batch = self.child.next_batch(max_rows)
+            if batch is None:
+                self.finish()
+                return None
+            self.ctx.meter.charge(len(batch) * p.cpu_hash_probe)
+            if comp:
+                out = []
+                for row in batch:
+                    if comp.get(row, 0) > 0:
+                        comp[row] -= 1
+                        self.compensated += 1
+                    else:
+                        out.append(row)
+            else:
+                out = batch
+            if out:
+                return self.emit_batch(out)
 
     def profile_extras(self) -> dict:
         return {"compensated_rows": self.compensated}

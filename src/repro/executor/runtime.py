@@ -130,15 +130,31 @@ def run_plan(
             _check_deadline(ctx, deadline)
         if interruptible:
             ctx.check_interrupt()
-        while True:
-            row = root.next()
-            if row is None:
-                break
-            rows.append(row)
-            if deadline is not None:
-                _check_deadline(ctx, deadline)
-            if interruptible:
-                ctx.check_interrupt()
+        batch_size = ctx.batch_size
+        if batch_size > 0:
+            # Vectorized drain: one root call and one deadline/interrupt
+            # poll per batch instead of per row.  Identical rows, row
+            # counters, CHECK decisions, and meter totals as the row loop
+            # below (tests/test_executor_batch_differential.py).
+            while True:
+                batch = root.next_batch(batch_size)
+                if batch is None:
+                    break
+                rows.extend(batch)
+                if deadline is not None:
+                    _check_deadline(ctx, deadline)
+                if interruptible:
+                    ctx.check_interrupt()
+        else:
+            while True:
+                row = root.next()
+                if row is None:
+                    break
+                rows.append(row)
+                if deadline is not None:
+                    _check_deadline(ctx, deadline)
+                if interruptible:
+                    ctx.check_interrupt()
         completed = True
     finally:
         close_failure = None

@@ -55,6 +55,35 @@ class TableScanExec(Operator):
         self.finish()
         return None
 
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        """Vectorized scan: one filter lookup per row inside a tight local
+        loop, one bulk meter charge per batch (``scanned × per-row``, so
+        totals equal row mode exactly)."""
+        self.require_open()
+        assert self._iter is not None and self._filter is not None
+        match = self._filter
+        out: list[tuple] = []
+        append = out.append
+        interruptible = self.ctx.interruptible
+        scanned = 0
+        rejected = 0
+        for row in self._iter:
+            scanned += 1
+            if match(row):
+                append(row)
+                if len(out) >= max_rows:
+                    break
+            else:
+                rejected += 1
+                if interruptible and rejected % 256 == 0:
+                    self.ctx.check_interrupt()
+        if scanned:
+            self.ctx.meter.charge(scanned * self._charge_per_row)
+        if not out:
+            self.finish()
+            return None
+        return self.emit_batch(out)
+
     def profile_extras(self) -> dict:
         return {
             "table": self.plan.table,
@@ -167,6 +196,40 @@ class IndexScanExec(Operator):
             self.finish()
         return None
 
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        """Vectorized rid-list drain (both modes; correlated rebinds keep
+        working because position state lives in ``_rids``/``_pos``)."""
+        self.require_open()
+        assert self._filter is not None
+        match = self._filter
+        rids = self._rids
+        pos = self._pos
+        n = len(rids)
+        fetch = self.table.fetch
+        out: list[tuple] = []
+        interruptible = self.ctx.interruptible
+        scanned = 0
+        rejected = 0
+        while pos < n and len(out) < max_rows:
+            rid = rids[pos]
+            pos += 1
+            scanned += 1
+            row = fetch(rid)
+            if match(row):
+                out.append(row)
+            else:
+                rejected += 1
+                if interruptible and rejected % 256 == 0:
+                    self.ctx.check_interrupt()
+        self._pos = pos
+        if scanned:
+            self.ctx.meter.charge(scanned * self._fetch_charge)
+        if not out:
+            if self.plan.correlation is None:
+                self.finish()
+            return None
+        return self.emit_batch(out)
+
     def profile_extras(self) -> dict:
         return {
             "index": self.plan.index_name,
@@ -206,6 +269,32 @@ class MVScanExec(Operator):
                 self.ctx.check_interrupt()
         self.finish()
         return None
+
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        assert self._iter is not None and self._filter is not None
+        match = self._filter
+        out: list[tuple] = []
+        append = out.append
+        interruptible = self.ctx.interruptible
+        scanned = 0
+        rejected = 0
+        for row in self._iter:
+            scanned += 1
+            if match(row):
+                append(row)
+                if len(out) >= max_rows:
+                    break
+            else:
+                rejected += 1
+                if interruptible and rejected % 256 == 0:
+                    self.ctx.check_interrupt()
+        if scanned:
+            self.ctx.meter.charge(scanned * self.ctx.cost_params.cpu_temp_scan)
+        if not out:
+            self.finish()
+            return None
+        return self.emit_batch(out)
 
     def profile_extras(self) -> dict:
         return {"mv": self.plan.mv_name, "mv_rows": len(self.mv.rows)}

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from itertools import islice
 from typing import Optional
 
 from repro.executor.base import ExecutionContext, Operator
@@ -83,15 +84,26 @@ class SortExec(Operator):
         p = self.ctx.cost_params
         interruptible = self.ctx.interruptible
         rows: list[tuple] = []
-        while True:
-            row = self.child.next()
-            if row is None:
-                break
-            rows.append(row)
-            # Blocking build phase: no row reaches emit() until the drain
-            # finishes, so poll the interrupt sources here.
-            if interruptible:
-                self.ctx.check_interrupt()
+        batch_size = self.ctx.batch_size
+        if batch_size > 0:
+            while True:
+                batch = self.child.next_batch(batch_size)
+                if batch is None:
+                    break
+                rows.extend(batch)
+                # Blocking build phase: poll per drained batch.
+                if interruptible:
+                    self.ctx.check_interrupt()
+        else:
+            while True:
+                row = self.child.next()
+                if row is None:
+                    break
+                rows.append(row)
+                # Blocking build phase: no row reaches emit() until the
+                # drain finishes, so poll the interrupt sources here.
+                if interruptible:
+                    self.ctx.check_interrupt()
         slots = [self.plan.layout.slot(k) for k in self.plan.keys]
         # Stable multi-key sort honoring per-key direction: sort by each key
         # from least to most significant.
@@ -119,25 +131,55 @@ class SortExec(Operator):
         runs = []
         buf: list[tuple] = []
         n = 0
-        while True:
-            row = self.child.next()
-            if row is None:
-                break
-            # Cancellation during the spilling build is the hard case this
-            # poll exists for: the run files created below are torn down by
-            # run_plan's finally (close + release_spill) when it raises.
-            if interruptible:
-                self.ctx.check_interrupt()
-            if len(buf) >= capacity:
-                # Flush only when another row actually arrives: an input
-                # that exactly fills the grant stays in memory.
-                buf.sort(key=key)
-                runs.append(
-                    self.ctx.spill.spill_rows("sort", buf, f"sort-run-{len(runs)}")
-                )
-                buf = []
-            buf.append(row)
-            n += 1
+        batch_size = self.ctx.batch_size
+        if batch_size > 0:
+            while True:
+                batch = self.child.next_batch(batch_size)
+                if batch is None:
+                    break
+                # Cancellation during the spilling build is the hard case
+                # this poll exists for: the run files created below are
+                # torn down by run_plan's finally (close + release_spill)
+                # when it raises.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                for row in batch:
+                    # Same flush-before-append body as the row loop below,
+                    # applied per row of the batch: run boundaries fall on
+                    # exactly the same input ordinals regardless of how the
+                    # batch straddles the capacity (an input that exactly
+                    # fills the grant still never flushes).
+                    if len(buf) >= capacity:
+                        buf.sort(key=key)
+                        runs.append(
+                            self.ctx.spill.spill_rows(
+                                "sort", buf, f"sort-run-{len(runs)}"
+                            )
+                        )
+                        buf = []
+                    buf.append(row)
+                n += len(batch)
+        else:
+            while True:
+                row = self.child.next()
+                if row is None:
+                    break
+                # Cancellation during the spilling build is the hard case
+                # this poll exists for: the run files created below are torn
+                # down by run_plan's finally (close + release_spill) when it
+                # raises.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                if len(buf) >= capacity:
+                    # Flush only when another row actually arrives: an input
+                    # that exactly fills the grant stays in memory.
+                    buf.sort(key=key)
+                    runs.append(
+                        self.ctx.spill.spill_rows("sort", buf, f"sort-run-{len(runs)}")
+                    )
+                    buf = []
+                buf.append(row)
+                n += 1
         if n:
             self.ctx.meter.charge(n * max(1.0, math.log2(n + 1)) * p.cpu_sort, "sort")
         if runs:
@@ -170,6 +212,26 @@ class SortExec(Operator):
             return self.emit(row)
         self.finish()
         return None
+
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        if self._merge is not None:
+            out = list(islice(self._merge, max_rows))
+            if not out:
+                self.finish()
+                return None
+            return self.emit_batch(out)
+        assert self._rows is not None
+        rows = self._rows
+        pos = self._pos
+        if pos >= len(rows):
+            self.finish()
+            return None
+        take = min(max_rows, len(rows) - pos)
+        self._pos = pos + take
+        # No per-row serve charge in row mode either: the sort cost was
+        # charged in full at build time.
+        return self.emit_batch(rows[pos:pos + take])
 
     @property
     def materialized_rows(self) -> Optional[list[tuple]]:

@@ -13,6 +13,7 @@ that no longer fit.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Optional
 
 from repro.executor.base import ExecutionContext, Operator
@@ -41,15 +42,27 @@ class TempExec(Operator):
             return
         interruptible = self.ctx.interruptible
         rows: list[tuple] = []
-        while True:
-            row = self.child.next()
-            if row is None:
-                break
-            # Blocking fill phase: poll per inserted row.
-            if interruptible:
-                self.ctx.check_interrupt()
-            self.ctx.meter.charge(p.cpu_temp_insert, "temp")
-            rows.append(row)
+        batch_size = self.ctx.batch_size
+        if batch_size > 0:
+            while True:
+                batch = self.child.next_batch(batch_size)
+                if batch is None:
+                    break
+                # Blocking fill phase: poll per inserted batch.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(len(batch) * p.cpu_temp_insert, "temp")
+                rows.extend(batch)
+        else:
+            while True:
+                row = self.child.next()
+                if row is None:
+                    break
+                # Blocking fill phase: poll per inserted row.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(p.cpu_temp_insert, "temp")
+                rows.append(row)
         pages = self.ctx.cost_model.pages_for(len(rows))
         if pages > self.ctx.grant_pages(p.temp_mem_pages, "temp"):
             self.ctx.meter.charge(pages * p.io_page, "temp")
@@ -64,22 +77,51 @@ class TempExec(Operator):
         capacity = max(1, int(grant * p.rows_per_page))
         interruptible = self.ctx.interruptible
         rows: list[tuple] = []
-        while True:
-            row = self.child.next()
-            if row is None:
-                break
-            # A cancel mid-overflow must not leak the spill file: raising
-            # here unwinds into run_plan's teardown and release_spill.
-            if interruptible:
-                self.ctx.check_interrupt()
-            self.ctx.meter.charge(p.cpu_temp_insert, "temp")
-            if len(rows) < capacity:
-                rows.append(row)
-            else:
+        batch_size = self.ctx.batch_size
+        if batch_size > 0:
+            while True:
+                batch = self.child.next_batch(batch_size)
+                if batch is None:
+                    break
+                # A cancel mid-overflow must not leak the spill file:
+                # raising here unwinds into run_plan's teardown and
+                # release_spill.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(len(batch) * p.cpu_temp_insert, "temp")
+                # Exact capacity split for batches straddling the boundary:
+                # the memory prefix holds precisely ``capacity`` rows and
+                # the remainder overflows, matching the row loop ordinal
+                # for ordinal (the PR-5 off-by-one bug class).
+                room = capacity - len(rows)
+                if room >= len(batch):
+                    rows.extend(batch)
+                    continue
+                if room > 0:
+                    rows.extend(batch[:room])
+                overflow = batch[room:] if room > 0 else batch
                 if self._overflow is None:
                     self._overflow = self.ctx.spill.create("temp", "temp-overflow")
                     self.spilled = True
-                self._overflow.append(row)
+                self._overflow.append_batch(overflow)
+        else:
+            while True:
+                row = self.child.next()
+                if row is None:
+                    break
+                # A cancel mid-overflow must not leak the spill file:
+                # raising here unwinds into run_plan's teardown and
+                # release_spill.
+                if interruptible:
+                    self.ctx.check_interrupt()
+                self.ctx.meter.charge(p.cpu_temp_insert, "temp")
+                if len(rows) < capacity:
+                    rows.append(row)
+                else:
+                    if self._overflow is None:
+                        self._overflow = self.ctx.spill.create("temp", "temp-overflow")
+                        self.spilled = True
+                    self._overflow.append(row)
         self._rows = rows
         self._pos = 0
         self.build_complete = True
@@ -104,6 +146,30 @@ class TempExec(Operator):
             if row is not None:
                 self.ctx.meter.charge(self.ctx.cost_params.cpu_temp_scan, "temp")
                 return self.emit(row)
+        self.finish()
+        return None
+
+    def next_batch(self, max_rows: int) -> Optional[list[tuple]]:
+        self.require_open()
+        assert self._rows is not None
+        rows = self._rows
+        pos = self._pos
+        if pos < len(rows):
+            take = min(max_rows, len(rows) - pos)
+            self._pos = pos + take
+            self.ctx.meter.charge(
+                take * self.ctx.cost_params.cpu_temp_scan, "temp"
+            )
+            return self.emit_batch(rows[pos:pos + take])
+        if self._overflow is not None:
+            if self._overflow_iter is None:
+                self._overflow_iter = self._overflow.rows()
+            out = list(islice(self._overflow_iter, max_rows))
+            if out:
+                self.ctx.meter.charge(
+                    len(out) * self.ctx.cost_params.cpu_temp_scan, "temp"
+                )
+                return self.emit_batch(out)
         self.finish()
         return None
 

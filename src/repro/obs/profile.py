@@ -44,7 +44,7 @@ QERROR_EXCLUDED = frozenset({"CHECK", "BUFCHECK", "RETURN", "ANTIJOIN"})
 #: purpose: the runtime closes operators in a flat ``finally`` loop where
 #: per-operator cleanup charges nothing, and wrapping it would complicate
 #: the idempotence the ``close-guarded`` contract rule demands.
-_WRAPPED_METHODS = ("open", "next", "rebind", "reset")
+_WRAPPED_METHODS = ("open", "next", "next_batch", "rebind", "reset")
 
 #: Spill-manager category -> operator KIND that spills under it.
 _SPILL_KINDS = {"sort": "SORT", "hash": "HSJOIN", "temp": "TEMP"}

@@ -767,3 +767,87 @@ def test_order_preserving_joins_claim_outer_order(tpch_db):
             if isinstance(op, (NLJoin, HashJoin)):
                 outer_order = op.children[0].properties.order
                 assert op.properties.order == outer_order
+
+
+class TestBatchContractRule:
+    """The vectorized-executor rule: ``next_batch`` overrides must funnel
+    rows through ``emit_batch``, never per-row ``emit``, and must not mix
+    the row protocol into a batch execution."""
+
+    def test_raw_list_return_flagged(self):
+        source = (
+            "class Vec(Operator):\n"
+            "    def next(self):\n"
+            "        return None\n"
+            "    def next_batch(self, max_rows):\n"
+            "        return [(1,)]\n"
+        )
+        findings = check_module(source)
+        assert [f.rule for f in findings] == ["batch-contract"]
+        assert "emit_batch" in findings[0].message
+
+    def test_per_row_emit_inside_batch_flagged(self):
+        source = (
+            "class Vec(Operator):\n"
+            "    def next(self):\n"
+            "        return None\n"
+            "    def next_batch(self, max_rows):\n"
+            "        self.emit((1,))\n"
+            "        return None\n"
+        )
+        findings = check_module(source)
+        assert [f.rule for f in findings] == ["batch-contract"]
+        assert "double-counted" in findings[0].message
+
+    def test_child_pull_via_next_flagged(self):
+        source = (
+            "class Vec(Operator):\n"
+            "    def next(self):\n"
+            "        return None\n"
+            "    def next_batch(self, max_rows):\n"
+            "        row = self.child.next()\n"
+            "        return None\n"
+        )
+        findings = check_module(source)
+        assert [f.rule for f in findings] == ["batch-contract"]
+        assert "next_batch(1)" in findings[0].message
+
+    def test_builtin_next_over_iterator_is_fine(self):
+        source = (
+            "class Vec(Operator):\n"
+            "    def next(self):\n"
+            "        return None\n"
+            "    def next_batch(self, max_rows):\n"
+            "        out = [next(self._merge, None)]\n"
+            "        if out[0] is None:\n"
+            "            return None\n"
+            "        return self.emit_batch(out)\n"
+        )
+        assert check_module(source) == []
+
+    def test_eof_and_emit_batch_returns_are_fine(self):
+        source = (
+            "class Vec(Operator):\n"
+            "    def next(self):\n"
+            "        return None\n"
+            "    def next_batch(self, max_rows):\n"
+            "        batch = self.child.next_batch(max_rows)\n"
+            "        if batch is None:\n"
+            "            self.finish()\n"
+            "            return None\n"
+            "        return self.emit_batch(batch)\n"
+        )
+        assert check_module(source) == []
+
+    def test_non_operator_class_ignored(self):
+        source = (
+            "class Reader:\n"
+            "    def next_batch(self, max_rows):\n"
+            "        return [(1,)]\n"
+        )
+        assert check_module(source) == []
+
+    def test_live_tree_is_clean(self):
+        assert [
+            f for f in run_contract_checks() if f.rule == "batch-contract"
+        ] == []

@@ -132,6 +132,82 @@ class TestSpillFile:
         assert not os.path.exists(spill.path)
         mgr.close_all()
 
+    @pytest.mark.parametrize(
+        "size", [1, BATCH_ROWS - 1, BATCH_ROWS, BATCH_ROWS + 1, 3 * BATCH_ROWS + 7]
+    )
+    def test_append_batch_partial_final_batches(self, size):
+        """The pending-batch accounting audit: after every append_batch
+        call — including batches that land exactly on, just under, and
+        just over the flush boundary — ``row_count`` and ``rows_written``
+        must agree with a row-at-a-time writer at the same point."""
+        mgr = self.manager()
+        batched = mgr.create("temp", "batched")
+        rowwise = mgr.create("temp", "rowwise")
+        rows = [(i, f"v{i}") for i in range(size)]
+        batched.append_batch(rows)
+        for row in rows:
+            rowwise.append(row)
+        assert batched.row_count == rowwise.row_count == size
+        assert batched.rows_written == rowwise.rows_written
+        assert list(batched.rows()) == list(rowwise.rows()) == rows
+        # Reading flushed the remainder; totals still agree.
+        assert batched.rows_written == rowwise.rows_written == size
+        mgr.close_all()
+
+    def test_append_batch_interleaves_with_append(self):
+        """Mixed per-row and batched writes preserve order and counts —
+        the TEMP overflow path appends batch tails after row-mode runs."""
+        mgr = self.manager()
+        spill = mgr.create("temp")
+        expect = []
+        for i in range(BATCH_ROWS - 3):
+            spill.append((i,))
+            expect.append((i,))
+        tail = [(i,) for i in range(BATCH_ROWS - 3, BATCH_ROWS + 5)]
+        spill.append_batch(tail)  # straddles the flush boundary
+        expect.extend(tail)
+        assert spill.row_count == len(expect)
+        assert spill.rows_written == BATCH_ROWS  # exactly one chunk flushed
+        assert list(spill.rows()) == expect
+        mgr.close_all()
+
+    def test_append_batch_matches_append_flush_points(self):
+        """Charged spill I/O accrues at identical points: after any prefix
+        of equal-sized writes, both writers have flushed the same chunks
+        and charged the same pages."""
+        mgr_a, mgr_b = self.manager(), self.manager()
+        batched = mgr_a.create("sort")
+        rowwise = mgr_b.create("sort")
+        chunk = [(i,) for i in range(97)]
+        for _ in range(12):
+            batched.append_batch(chunk)
+            for row in chunk:
+                rowwise.append(row)
+            assert batched.rows_written == rowwise.rows_written
+            assert batched.row_count == rowwise.row_count
+            assert (
+                mgr_a.meter.by_category().get("spill", 0.0)
+                == mgr_b.meter.by_category().get("spill", 0.0)
+            )
+        mgr_a.close_all()
+        mgr_b.close_all()
+
+    def test_append_batch_empty_is_noop(self):
+        mgr = self.manager()
+        spill = mgr.create("temp")
+        spill.append_batch([])
+        assert spill.row_count == 0
+        assert list(spill.rows()) == []
+        mgr.close_all()
+
+    def test_append_batch_after_close_raises(self):
+        mgr = self.manager()
+        spill = mgr.spill_rows("temp", [(1,)])
+        spill.close()
+        with pytest.raises(ExecutionError):
+            spill.append_batch([(2,)])
+        mgr.close_all()
+
     def test_close_all_deletes_files_and_keeps_stats(self):
         mgr = self.manager()
         spill = mgr.spill_rows("sort", [(i,) for i in range(BATCH_ROWS)])
@@ -331,3 +407,54 @@ class TestSpillLifecycle:
         assert [
             f for f in run_contract_checks() if f.rule == "spill-lifecycle"
         ] == []
+
+
+class TestBatchModeDegradedParity:
+    """Spilling operators driven through ``next_batch`` must produce the
+    same rows *and* the same metered spill I/O as the row-mode degraded
+    paths — batch writes reuse the identical flush boundaries
+    (``SpillFile.append_batch``), so the charge streams line up exactly."""
+
+    BATCH_SIZES = [1, 7, 64, 1024]
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_spilled_sort_parity(self, batch_size):
+        cat = make_catalog([((i * 131) % 900, f"v{i}") for i in range(900)])
+        child = scan_plan(900)
+        plan = Sort(child, ("t.a",), child.properties.with_order(("t.a",)), 5)
+        row_ctx = squeezed_ctx(cat, 1 / 64.0)
+        expect = run_plan(plan, row_ctx)
+        batch_ctx = squeezed_ctx(cat, 1 / 64.0, batch_size=batch_size)
+        got = run_plan(plan, batch_ctx)
+        assert got == expect  # exact order through the k-way merge
+        assert batch_ctx.meter.by_category()["spill"] == pytest.approx(
+            row_ctx.meter.by_category()["spill"]
+        )
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_temp_overflow_parity(self, batch_size):
+        rows = [(i, f"v{i}") for i in range(700)]
+        cat = make_catalog(rows)
+        plan = Temp(scan_plan(700), 5)
+        row_ctx = squeezed_ctx(cat, 1 / 64.0)
+        expect = run_plan(plan, row_ctx)
+        batch_ctx = squeezed_ctx(cat, 1 / 64.0, batch_size=batch_size)
+        got = run_plan(plan, batch_ctx)
+        assert got == expect == rows
+        assert batch_ctx.meter.by_category()["spill"] == pytest.approx(
+            row_ctx.meter.by_category()["spill"]
+        )
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_grace_hash_join_parity(self, batch_size):
+        cat = join_catalog()
+        plan = join_plan()
+        row_ctx = squeezed_ctx(cat, 1 / 64.0)
+        expect = run_plan(plan, row_ctx)
+        batch_ctx = squeezed_ctx(cat, 1 / 64.0, batch_size=batch_size)
+        got = run_plan(plan, batch_ctx)
+        assert got == expect  # identical partition visit order, too
+        assert batch_ctx.meter.by_category()["spill"] == pytest.approx(
+            row_ctx.meter.by_category()["spill"]
+        )
+        assert batch_ctx.meter.units == pytest.approx(row_ctx.meter.units)
