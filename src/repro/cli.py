@@ -41,6 +41,15 @@ meta commands:
   \\cache on|off|clear|stats validity-range-aware plan cache: show cached
                             statement shapes and hit/miss/invalidation
                             counters, enable/disable, or drop all entries
+  \\txn begin|commit|rollback|status
+                            snapshot transactions: begin pins a snapshot
+                            (reads stay stable, inserts stage privately),
+                            commit installs atomically (a lost
+                            first-committer-wins race prints
+                            error[conflict]: — re-run the transaction),
+                            rollback discards; \\txn status shows the
+                            epoch, WAL, and checkpoint counters
+                            (\\txn on [DIR] enables, durable with DIR)
   \\save DIR                 persist the database to a directory
   \\open DIR                 load a database saved with \\save
   \\set NAME VALUE           bind a parameter for ? / :name markers
@@ -378,6 +387,58 @@ class Shell:
                 f"  [{entry.fingerprint[:12]}] hits={entry.hits} "
                 f"checks={entry.checkpoints} {shape}"
             )
+
+    def _meta_txn(self, args) -> None:
+        sub = args[0].lower() if args else "status"
+        if sub == "on":
+            path = args[1] if len(args) > 1 else None
+            self.db.enable_transactions(
+                path=path, metrics=self.metrics, tracer=self.tracer
+            )
+            where = f"durable in {path}" if path else "in-memory"
+            self.write(f"transactions on ({where})")
+            return
+        manager = self.db.txn_manager
+        if manager is None:
+            self.write("transactions are off (\\txn on [DIR] to enable)")
+            return
+        if sub == "begin":
+            txn = self.db.begin()
+            self.write(f"begin: txn {txn.txn_id} at epoch {txn.begin_epoch}")
+        elif sub == "commit":
+            epoch = self.db.commit()
+            self.write(f"commit: epoch {epoch}")
+        elif sub == "rollback":
+            self.db.rollback()
+            self.write("rollback: write-set discarded")
+        elif sub == "status":
+            stats = manager.snapshot_stats()
+            open_txn = self.db._thread_txn()
+            if open_txn is not None:
+                self.write(
+                    f"open transaction: txn {open_txn.txn_id} "
+                    f"(began at epoch {open_txn.begin_epoch}, "
+                    f"{open_txn.staged_rows()} staged row(s))"
+                )
+            durable = "durable" if stats["durable"] else "in-memory"
+            self.write(
+                f"epoch {stats['epoch']} ({durable}), "
+                f"{stats['active']} active transaction(s)"
+            )
+            self.write(
+                f"  commits={stats['commits']} rollbacks={stats['rollbacks']} "
+                f"conflicts={stats['conflicts']} "
+                f"autocommits={stats['autocommits']}"
+            )
+            self.write(
+                f"  wal: {stats['wal_records']} record(s), "
+                f"{stats['wal_bytes']:,} byte(s); "
+                f"checkpoints={stats['checkpoints']}; "
+                f"recovered={stats['recovered_records']} record(s), "
+                f"{stats['recovered_truncated_bytes']} torn byte(s) dropped"
+            )
+        else:
+            self.write("usage: \\txn begin|commit|rollback|status | \\txn on [DIR]")
 
     def _meta_save(self, args) -> None:
         if not args:

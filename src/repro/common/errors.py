@@ -117,6 +117,41 @@ class ExecutionCancelled(ExecutionError):
     for the statement to stop, so stopping *is* the correct outcome."""
 
 
+class TransactionError(ReproError):
+    """A transaction was used incorrectly (commit after rollback, staging
+    into a finished transaction, nested ``begin`` on one thread)."""
+
+
+class TransactionConflict(TransientError):
+    """First-committer-wins validation failed at commit.
+
+    Another transaction committed to one of this transaction's write-set
+    tables after this transaction began.  Retryable by construction: the
+    caller re-runs the transaction against the new snapshot (a
+    :class:`TransientError` so :func:`is_retryable` holds), but it gets
+    its own ``conflict`` failure class so clients and the CLI can
+    distinguish "re-run your transaction" from an engine hiccup.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tables: tuple[str, ...] = (),
+        begin_epoch: int | None = None,
+        committed_epoch: int | None = None,
+    ):
+        super().__init__(message)
+        self.tables = tables
+        self.begin_epoch = begin_epoch
+        self.committed_epoch = committed_epoch
+
+
+class WalError(ReproError):
+    """The write-ahead log or a checkpoint is unusable (corrupt beyond the
+    torn tail, a failed fsync that could not be rolled back, a checksum
+    mismatch inside an atomically-replaced checkpoint)."""
+
+
 class ServerOverloaded(ReproError):
     """The server shed this request instead of queueing it.
 
@@ -158,6 +193,7 @@ TIMEOUT = "timeout"
 ADMISSION = "admission"
 CANCELLED = "cancelled"
 OVERLOADED = "overloaded"
+CONFLICT = "conflict"
 USER = "user"
 FATAL = "fatal"
 
@@ -170,7 +206,9 @@ _USER_ERRORS = (ParseError, BindError, SchemaError, CatalogError, ProtocolError)
 def failure_class(exc: BaseException) -> str:
     """Classify an exception for the execution guard, the server, and the CLI.
 
-    ``transient`` / ``resource`` failures are retryable, ``timeout`` goes
+    ``transient`` / ``resource`` / ``conflict`` failures are retryable
+    (``conflict`` means first-committer-wins validation failed — re-run
+    the transaction against the fresh snapshot), ``timeout`` goes
     straight to the safe-plan fallback, ``admission`` means the memory
     governor shed the statement before it ran (the caller decides whether
     to resubmit), ``cancelled`` means the caller asked the statement to
@@ -178,6 +216,8 @@ def failure_class(exc: BaseException) -> str:
     admission, ``user`` means the statement is at fault, and ``fatal`` is
     everything else (a genuine engine failure).
     """
+    if isinstance(exc, TransactionConflict):
+        return CONFLICT
     if isinstance(exc, ResourceExhausted):
         return RESOURCE
     if isinstance(exc, TransientError):

@@ -18,27 +18,36 @@ Lock-order policy
 Locks must be acquired in ascending **rank** order; a thread holding a
 lock may only acquire locks of strictly greater rank:
 
-====  ===================  =============================  ==========
-rank  lock                 owner                          kind
-====  ===================  =============================  ==========
-0     ``server.sessions``  ``SessionRegistry._lock``      lock
-1     ``governor``         ``MemoryGovernor._cond``       condition
-2     ``cache``            ``PlanCache._lock``            rlock
-3     ``obs.metrics``      ``MetricsRegistry._lock``      lock
-4     ``obs.trace``        ``Tracer._lock``               lock
-5     ``spill``            ``SpillManager._lock``         lock
-====  ===================  =============================  ==========
+====  ===================  ================================  ==========
+rank  lock                 owner                             kind
+====  ===================  ================================  ==========
+0     ``server.sessions``  ``SessionRegistry._lock``         lock
+1     ``txn.epoch``        ``TransactionManager._epoch_lock``  lock
+2     ``governor``         ``MemoryGovernor._cond``          condition
+3     ``cache``            ``PlanCache._lock``               rlock
+4     ``obs.metrics``      ``MetricsRegistry._lock``         lock
+5     ``obs.trace``        ``Tracer._lock``                  lock
+6     ``spill``            ``SpillManager._lock``            lock
+====  ===================  ================================  ==========
 
 Rationale: the server's session registry sits at the outermost layer —
 a registry sweep (idle reaper, drain, ``\\kill``) inspects sessions and
 may touch per-session resources whose teardown reaches the governor, so
-it must rank before everything the engine acquires; the governor
-publishes gauges and trace events while holding its condition (admission
-must be atomic with its observability), so the obs locks rank *after*
-it; the plan cache may someday record metrics under its lock, so it also
-ranks before obs; spill bookkeeping is a leaf — it must never call back
-into obs or the governor while locked (the analyzer enforces this:
-``SpillManager`` takes its metrics/meter charges *outside* its lock).
+it must rank before everything the engine acquires; the transaction
+manager's epoch lock sits just inside the session layer (a session
+teardown may roll back its transaction) and outside the engine — commit
+holds it across conflict validation, the WAL append+fsync, and the
+atomic install, but never while acquiring an engine lock: governor
+admission for WAL/checkpoint buffers happens *before* the epoch lock is
+taken (``Condition.wait`` under it would be a wait-while-holding
+violation), and plan-cache invalidation plus obs publication happen
+*after* it is released; the governor publishes gauges and trace events
+while holding its condition (admission must be atomic with its
+observability), so the obs locks rank *after* it; the plan cache may
+someday record metrics under its lock, so it also ranks before obs;
+spill bookkeeping is a leaf — it must never call back into obs or the
+governor while locked (the analyzer enforces this: ``SpillManager``
+takes its metrics/meter charges *outside* its lock).
 
 Three further disciplines ride on the same declaration:
 
@@ -116,13 +125,15 @@ class LockSpec:
 LOCK_ORDER: tuple[LockSpec, ...] = (
     LockSpec("server.sessions", "SessionRegistry", "_lock", "lock", 0,
              "server/session.py"),
-    LockSpec("governor", "MemoryGovernor", "_cond", "condition", 1,
+    LockSpec("txn.epoch", "TransactionManager", "_epoch_lock", "lock", 1,
+             "txn/manager.py"),
+    LockSpec("governor", "MemoryGovernor", "_cond", "condition", 2,
              "governor/__init__.py"),
-    LockSpec("cache", "PlanCache", "_lock", "rlock", 2, "cache/plan_cache.py"),
-    LockSpec("obs.metrics", "MetricsRegistry", "_lock", "lock", 3,
+    LockSpec("cache", "PlanCache", "_lock", "rlock", 3, "cache/plan_cache.py"),
+    LockSpec("obs.metrics", "MetricsRegistry", "_lock", "lock", 4,
              "obs/metrics.py"),
-    LockSpec("obs.trace", "Tracer", "_lock", "lock", 4, "obs/trace.py"),
-    LockSpec("spill", "SpillManager", "_lock", "lock", 5, "storage/spill.py"),
+    LockSpec("obs.trace", "Tracer", "_lock", "lock", 5, "obs/trace.py"),
+    LockSpec("spill", "SpillManager", "_lock", "lock", 6, "storage/spill.py"),
 )
 
 #: Identifier -> class-name hints the analyzer uses to resolve receivers
@@ -133,6 +144,9 @@ RECEIVER_HINTS: dict[str, str] = {
     "registry": "SessionRegistry",
     "_registry": "SessionRegistry",
     "sessions": "SessionRegistry",
+    "txm": "TransactionManager",
+    "txn_manager": "TransactionManager",
+    "_txn_manager": "TransactionManager",
     "governor": "MemoryGovernor",
     "plan_cache": "PlanCache",
     "cache": "PlanCache",

@@ -20,6 +20,7 @@ otherwise).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Any, Optional, Sequence
 
@@ -81,6 +82,13 @@ class Database:
         #: Per-database memory governor (:mod:`repro.governor`); off until
         #: :meth:`enable_memory_governor`.
         self.memory_governor = None
+        #: Snapshot-transaction manager (:mod:`repro.txn`); off until
+        #: :meth:`enable_transactions`.  When off, writes apply immediately
+        #: and reads see latest data — the pre-transactional behavior.
+        self.txn_manager = None
+        #: Per-thread implicit transaction (:meth:`begin` / :meth:`commit` /
+        #: :meth:`rollback`); explicit handles via :meth:`begin_txn`.
+        self._txn_local = threading.local()
 
     def enable_learning(self) -> "LearnedCardinalities":
         """Turn on cross-statement cardinality learning (LEO-style)."""
@@ -145,6 +153,117 @@ class Database:
     def disable_memory_governor(self) -> None:
         self.memory_governor = None
 
+    # ------------------------------------------------------------ transactions
+
+    def enable_transactions(
+        self,
+        path: Optional[str] = None,
+        checkpoint_interval: int = 16,
+        crash_hook=None,
+        metrics=None,
+        tracer=None,
+    ):
+        """Turn on MVCC-lite snapshot transactions (:mod:`repro.txn`).
+
+        With ``path``, commits are durable: each one appends a checksummed
+        record to a write-ahead log and fsyncs before returning, and every
+        ``checkpoint_interval`` commits the log is folded into an atomic
+        checkpoint.  Re-opening a database on the same ``path`` runs
+        recovery first (committed suffix replayed, torn tail truncated,
+        uncommitted write-sets never seen).  Without ``path``,
+        transactions provide isolation only.
+
+        Once enabled, :meth:`insert` / :meth:`load_raw` stage into the
+        calling thread's open transaction (or autocommit as a
+        single-statement transaction), every statement reads from a pinned
+        snapshot, and plan-cache invalidation coalesces to commit
+        boundaries instead of firing per insert.
+        """
+        from repro.txn import TransactionManager
+
+        if self.txn_manager is None:
+            self.txn_manager = TransactionManager(
+                self.catalog,
+                directory=path,
+                governor_source=lambda: self.memory_governor,
+                metrics=metrics,
+                tracer=tracer,
+                checkpoint_interval=checkpoint_interval,
+                crash_hook=crash_hook,
+            )
+            self.txn_manager.add_invalidation_callback(
+                self._invalidate_cached_plans
+            )
+        return self.txn_manager
+
+    def close(self) -> None:
+        """Release durable resources (WAL file handle).  Safe to re-call."""
+        if self.txn_manager is not None:
+            self.txn_manager.close()
+
+    def _require_txn_manager(self):
+        if self.txn_manager is None:
+            from repro.common.errors import TransactionError
+
+            raise TransactionError(
+                "transactions are not enabled: call enable_transactions() first"
+            )
+        return self.txn_manager
+
+    def _thread_txn(self):
+        """The calling thread's open implicit transaction, or ``None``."""
+        txn = getattr(self._txn_local, "txn", None)
+        if txn is not None and txn.state != "active":
+            self._txn_local.txn = None
+            return None
+        return txn
+
+    def begin(self):
+        """Open the calling thread's implicit transaction."""
+        manager = self._require_txn_manager()
+        if self._thread_txn() is not None:
+            from repro.common.errors import TransactionError
+
+            raise TransactionError(
+                "a transaction is already open on this thread"
+            )
+        txn = manager.begin()
+        self._txn_local.txn = txn
+        return txn
+
+    def commit(self) -> int:
+        """Commit the thread's implicit transaction; returns the new epoch."""
+        manager = self._require_txn_manager()
+        txn = self._thread_txn()
+        if txn is None:
+            from repro.common.errors import TransactionError
+
+            raise TransactionError("no open transaction on this thread")
+        self._txn_local.txn = None
+        return manager.commit(txn)
+
+    def rollback(self) -> None:
+        """Discard the thread's implicit transaction (no-op write-set)."""
+        manager = self._require_txn_manager()
+        txn = self._thread_txn()
+        if txn is None:
+            from repro.common.errors import TransactionError
+
+            raise TransactionError("no open transaction on this thread")
+        self._txn_local.txn = None
+        manager.rollback(txn)
+
+    # Explicit handles (the server holds one per session, across threads).
+
+    def begin_txn(self):
+        return self._require_txn_manager().begin()
+
+    def commit_txn(self, txn) -> int:
+        return self._require_txn_manager().commit(txn)
+
+    def rollback_txn(self, txn) -> None:
+        self._require_txn_manager().rollback(txn)
+
     def _invalidate_cached_plans(self, tables=None) -> None:
         """Drop cached plans affected by a data/statistics/DDL change."""
         if self.plan_cache is None:
@@ -158,7 +277,10 @@ class Database:
 
     def create_table(self, name: str, columns: Sequence[tuple[str, str]]):
         """Create a table from ``(column, type)`` pairs."""
-        return self.catalog.create_table(name, Schema.of(*columns))
+        table = self.catalog.create_table(name, Schema.of(*columns))
+        if self.txn_manager is not None:
+            self.txn_manager.on_create_table(table)
+        return table
 
     def create_index(self, name: str, table: str, column: str, kind: str = "sorted"):
         index = self.catalog.create_index(name, table, column, kind)
@@ -166,15 +288,37 @@ class Database:
         return index
 
     def insert(self, table: str, rows) -> None:
+        """Insert rows.
+
+        With transactions enabled the rows stage into the calling thread's
+        open transaction (visible to others only at commit) or autocommit
+        as one single-statement transaction; plan-cache invalidation then
+        happens once per commit.  Without transactions the legacy direct
+        path applies immediately and invalidates per call.
+        """
+        if self.txn_manager is not None:
+            self._stage_or_autocommit(table, rows, raw=False)
+            return
         self.catalog.table(table).insert_many(rows)
         self.catalog.rebuild_indexes(table)
         self._invalidate_cached_plans([table])
 
     def load_raw(self, table: str, rows: list) -> None:
         """Bulk load pre-coerced tuples and rebuild indexes."""
+        if self.txn_manager is not None:
+            self._stage_or_autocommit(table, rows, raw=True)
+            return
         self.catalog.table(table).load_raw(rows)
         self.catalog.rebuild_indexes(table)
         self._invalidate_cached_plans([table])
+
+    def _stage_or_autocommit(self, table: str, rows, raw: bool) -> None:
+        manager = self.txn_manager
+        txn = self._thread_txn()
+        if txn is not None:
+            manager.stage(txn, table, rows, raw=raw)
+            return
+        manager.autocommit(table, rows, raw=raw)
 
     def runstats(
         self,
@@ -210,6 +354,7 @@ class Database:
         progress=None,
         cancel=None,
         plan_cache=None,
+        snapshot=None,
     ) -> Result:
         """Run a statement; POP is enabled by default.
 
@@ -232,6 +377,14 @@ class Database:
         the database-wide cache for this statement (the server passes a
         per-session cache here so sessions cannot poison each other's
         plans); pass nothing to keep using :attr:`plan_cache`.
+
+        ``snapshot`` pins the statement to an explicit
+        :class:`repro.txn.Snapshot` (the server passes the session
+        transaction's).  When omitted and transactions are enabled, the
+        statement reads at the calling thread's open transaction's
+        snapshot, or a fresh per-statement pin — either way every retry,
+        spill, and re-optimization round of the statement sees one
+        immutable row-set.
         """
         config = pop if pop is not None else PopConfig()
         effective_cache = plan_cache if plan_cache is not None else self.plan_cache
@@ -252,6 +405,12 @@ class Database:
             run_params.update(stmt.params)
         else:
             query = self._to_query(statement)
+        if snapshot is None and self.txn_manager is not None:
+            txn = self._thread_txn()
+            snapshot = (
+                txn.snapshot if txn is not None
+                else self.txn_manager.pin_snapshot()
+            )
         governor = self.memory_governor
         reservation = None
         if governor is not None:
@@ -285,6 +444,7 @@ class Database:
                 statement=stmt,
                 reservation=reservation,
                 cancel=cancel,
+                snapshot=snapshot,
             )
         finally:
             if reservation is not None:

@@ -299,6 +299,7 @@ class PopDriver:
         statement=None,
         reservation=None,
         cancel=None,
+        snapshot=None,
     ) -> tuple[list[tuple], PopReport]:
         """Execute ``query`` and return (rows, report).
 
@@ -329,6 +330,11 @@ class PopDriver:
         once set, the statement unwinds with
         :class:`~repro.common.errors.ExecutionCancelled` and every spill
         file and reservation is released on the way out.
+
+        ``snapshot`` is an optional :class:`repro.txn.Snapshot`: every
+        attempt (including retries, re-optimization rounds, and the safe
+        fallback) scans at the same pinned commit epoch, so concurrent
+        commits never shift row-sets mid-statement.
         """
         config = self.config
         cost_model = self.optimizer.cost_model
@@ -381,6 +387,7 @@ class PopDriver:
                 statement,
                 reservation,
                 cancel,
+                snapshot,
             )
         finally:
             if guard is not None:
@@ -444,6 +451,7 @@ class PopDriver:
         statement=None,
         reservation=None,
         cancel=None,
+        snapshot=None,
     ) -> list[tuple]:
         """The optimize/execute loop of :meth:`run` (Figure 3), guarded."""
         tracer = self.tracer
@@ -597,6 +605,7 @@ class PopDriver:
                 profiler=ProfileCollector(meter) if self.profile else None,
                 progress=self.progress,
                 batch_size=config.batch_size,
+                snapshot=snapshot,
             )
             ctx.compensation = compensation
             renegs_before = (
@@ -705,7 +714,7 @@ class PopDriver:
                     delivered.extend(
                         self._run_fallback(
                             query, params, meter, compensation, attempts,
-                            stmt_span, attempt, reservation, cancel,
+                            stmt_span, attempt, reservation, cancel, snapshot,
                         )
                     )
                     return delivered
@@ -746,7 +755,7 @@ class PopDriver:
                     delivered.extend(
                         self._run_fallback(
                             query, params, meter, compensation, attempts,
-                            stmt_span, attempt, reservation, cancel,
+                            stmt_span, attempt, reservation, cancel, snapshot,
                         )
                     )
                     return delivered
@@ -783,6 +792,7 @@ class PopDriver:
         attempt: int,
         reservation=None,
         cancel=None,
+        snapshot=None,
     ) -> list[tuple]:
         """Run the conservative safe plan (guaranteed to complete).
 
@@ -842,6 +852,7 @@ class PopDriver:
                 profiler=ProfileCollector(meter) if self.profile else None,
                 progress=self.progress,
                 batch_size=self.config.batch_size,
+                snapshot=snapshot,
             )
             ctx.compensation = compensation
             renegs_before = (

@@ -92,6 +92,7 @@ class ExecutionContext:
         cancel=None,
         wall_deadline: Optional[float] = None,
         batch_size: int = 0,
+        snapshot=None,
     ):
         self.catalog = catalog
         self.params = params if params is not None else {}
@@ -166,6 +167,14 @@ class ExecutionContext:
         #: both modes (see docs/vectorized.md); only poll granularity for
         #: cancellation/deadlines moves to batch boundaries.
         self.batch_size = batch_size
+        #: Optional :class:`repro.txn.Snapshot` pinning this attempt to a
+        #: commit epoch.  Scan operators cap themselves at the snapshot's
+        #: per-table visible-row watermark (rids are positional, so
+        #: ``rid < visible`` is exact); ``None`` means "read latest", the
+        #: pre-transactional behavior.  Re-optimization rounds inside one
+        #: statement reuse the same context, so every attempt of a POP
+        #: statement sees one immutable snapshot.
+        self.snapshot = snapshot
         self._spill = None
         #: Grants that came back smaller than requested: ``(category,
         #: requested, granted)`` triples, harvested into the attempt report.

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Iterator, Optional
 
 from repro.common.errors import ExecutionError
@@ -36,7 +37,19 @@ class TableScanExec(Operator):
         self._filter = compile_conjunction(
             self.plan.filters, self.plan.layout, self.ctx.params
         )
-        self._iter = iter(self.table.rows)
+        # Snapshot isolation: rows are append-only and rids positional, so
+        # capping the scan at the pinned watermark yields exactly the rows
+        # visible at the snapshot's epoch — concurrent commits append past
+        # the cap without being observed.
+        visible = (
+            self.ctx.snapshot.visible_rows(self.table.name)
+            if self.ctx.snapshot is not None
+            else None
+        )
+        if visible is None:
+            self._iter = iter(self.table.rows)
+        else:
+            self._iter = islice(iter(self.table.rows), visible)
 
     def next(self) -> Optional[tuple]:
         self.require_open()
@@ -120,6 +133,20 @@ class IndexScanExec(Operator):
         self._fetch_charge = ctx.cost_model.fetch_cost_per_row(
             float(self.table.page_count)
         )
+        # Snapshot watermark: index probes may return rids appended after
+        # the pinned epoch (indexes are rebuilt at commit), so every rid
+        # list is filtered to ``rid < visible`` before fetching.
+        self._visible = (
+            ctx.snapshot.visible_rows(self.table.name)
+            if ctx.snapshot is not None
+            else None
+        )
+
+    def _visible_rids(self, rids: Iterator[int]) -> list[int]:
+        visible = self._visible
+        if visible is None:
+            return list(rids)
+        return [rid for rid in rids if rid < visible]
 
     def open(self) -> None:
         super().open()
@@ -127,7 +154,7 @@ class IndexScanExec(Operator):
             self.plan.filters, self.plan.layout, self.ctx.params
         )
         if self.plan.correlation is None:
-            self._rids = list(self._rids_for_sarg())
+            self._rids = self._visible_rids(self._rids_for_sarg())
             self._pos = 0
             self.probes += 1
             self.ctx.meter.charge(
@@ -173,7 +200,7 @@ class IndexScanExec(Operator):
         p = self.ctx.cost_params
         self.probes += 1
         self.ctx.meter.charge(p.index_probe_io * p.random_io * p.io_page)
-        self._rids = self.index.lookup(key)
+        self._rids = self._visible_rids(iter(self.index.lookup(key)))
         self._pos = 0
         self.eof_seen = False
 

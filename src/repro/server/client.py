@@ -74,6 +74,15 @@ class ReproClient:
     def sessions(self) -> Optional[dict]:
         return self.request({"op": "sessions"})
 
+    def begin(self) -> Optional[dict]:
+        return self.request({"op": "begin"})
+
+    def commit(self) -> Optional[dict]:
+        return self.request({"op": "commit"})
+
+    def rollback(self) -> Optional[dict]:
+        return self.request({"op": "rollback"})
+
     def stats(self) -> Optional[dict]:
         return self.request({"op": "stats"})
 

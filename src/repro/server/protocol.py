@@ -44,7 +44,12 @@ MAX_FRAME_BYTES = 64 * 1024
 RECV_CHUNK = 4096
 
 #: Request operations the server understands (dispatch validates).
-OPS = ("ping", "execute", "kill", "sessions", "stats", "close")
+#: ``begin`` / ``commit`` / ``rollback`` manage the session transaction;
+#: like the other control ops they run inline on the reader thread.
+OPS = (
+    "ping", "execute", "kill", "sessions", "stats", "close",
+    "begin", "commit", "rollback",
+)
 
 
 def encode_frame(payload: dict) -> bytes:

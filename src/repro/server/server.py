@@ -27,6 +27,12 @@ thread-pool socket server speaking the line-delimited JSON protocol of
 * **Graceful drain** — :meth:`shutdown` stops accepting, lets in-flight
   statements finish within the drain budget, cancels the stragglers,
   and joins every thread it spawned.
+* **Session transactions** — when the database has :mod:`repro.txn`
+  enabled, ``begin`` / ``commit`` / ``rollback`` ops manage one open
+  transaction per session (inline on the reader thread, like the other
+  control ops); statements inside it read at its pinned snapshot, and
+  every teardown path rolls an open transaction back
+  (abort-on-disconnect), so a dead client's staged writes never land.
 
 Threads: one acceptor, one reader per connection, ``workers`` statement
 workers, one reaper.  All are joined by :meth:`shutdown`; the chaos
@@ -215,6 +221,12 @@ class ReproServer:
             self.metrics.inc("server.shed", kind="session")
             self._refuse(sock, exc)
             return
+        if plan_cache is not None and self.db.txn_manager is not None:
+            # Commit-coalesced invalidation for the per-session cache;
+            # deregistered by the teardown funnel.
+            self.db.txn_manager.add_invalidation_callback(
+                plan_cache.invalidate_tables
+            )
         self.metrics.inc("server.sessions_accepted")
         session.send(
             encode_frame(
@@ -267,9 +279,34 @@ class ReproServer:
         finally:
             session.mark_closing()
             session.cancel(reason)
+            self._abort_session_txn(session)
             self.registry.remove(session)
             _close_socket(session.sock)
             self.metrics.inc("server.sessions_closed")
+
+    def _abort_session_txn(self, session: Session) -> None:
+        """Teardown-funnel step: roll back the session's open transaction.
+
+        Every exit path funnels through here (clean close, abrupt
+        disconnect, protocol violation, reaper, drain), so a disconnected
+        client's staged writes are always discarded — and the per-session
+        cache's invalidation callback is detached so the manager never
+        calls into a dead session."""
+        manager = self.db.txn_manager
+        if manager is None:
+            return
+        if session.plan_cache is not None:
+            manager.remove_invalidation_callback(
+                session.plan_cache.invalidate_tables
+            )
+        txn = session.take_txn()
+        if txn is None:
+            return
+        try:
+            manager.rollback(txn)
+        except ReproError:
+            pass  # already finished: commit/rollback raced the teardown
+        self.metrics.inc("server.txn_aborted")
 
     def _dispatch(self, session: Session, request: dict) -> bool:
         """Handle one frame inline (control ops) or enqueue it (execute).
@@ -294,6 +331,9 @@ class ReproServer:
             elif op == "kill":
                 payload = self._kill(session, request)
                 session.send(encode_frame(ok_response(payload, request)))
+            elif op in ("begin", "commit", "rollback"):
+                payload = self._txn_op(session, op)
+                session.send(encode_frame(ok_response(payload, request)))
             elif op == "close":
                 session.send(
                     encode_frame(ok_response({"closed": True}, request))
@@ -306,7 +346,48 @@ class ReproServer:
             # Semantic problem with a well-framed request: answer and
             # keep the connection (unlike framing corruption).
             session.send(encode_frame(error_response(exc, request)))
+        except ReproError as exc:
+            # Classified engine errors from inline ops (e.g. a commit's
+            # TransactionConflict -> ``conflict``): answer, keep the
+            # connection — the client owns the retry.
+            self.metrics.inc(
+                "server.statement_errors", **{"class": failure_class(exc)}
+            )
+            session.send(encode_frame(error_response(exc, request)))
         return True
+
+    def _txn_op(self, session: Session, op: str) -> dict:
+        """Session transaction lifecycle, inline on the reader thread.
+
+        ``begin`` pins a snapshot every later statement of the session
+        reads at; ``commit`` / ``rollback`` detach the handle first and
+        finish it outside the registry lock.  A commit-time
+        :class:`~repro.common.errors.TransactionConflict` propagates to
+        the dispatcher's classified-error path (``error_class:
+        "conflict"``) with the transaction already aborted.
+        """
+        manager = self.db.txn_manager
+        if manager is None:
+            raise ProtocolError("transactions are not enabled on this server")
+        if op == "begin":
+            txn = manager.begin()
+            try:
+                session.set_txn(txn)
+            except ProtocolError:
+                manager.rollback(txn)
+                raise
+            self.metrics.inc("server.txn_begins")
+            return {"txn": txn.txn_id, "epoch": txn.begin_epoch}
+        txn = session.take_txn()
+        if txn is None:
+            raise ProtocolError(f"no open transaction to {op}")
+        if op == "commit":
+            epoch = manager.commit(txn)
+            self.metrics.inc("server.txn_commits")
+            return {"committed": True, "txn": txn.txn_id, "epoch": epoch}
+        manager.rollback(txn)
+        self.metrics.inc("server.txn_rollbacks")
+        return {"rolled_back": True, "txn": txn.txn_id}
 
     def _enqueue_execute(self, session: Session, request: dict) -> None:
         if self._draining.is_set():
@@ -368,6 +449,10 @@ class ReproServer:
                 cancel=token,
                 plan_cache=session.plan_cache,
                 metrics=session.metrics,
+                # Inside a session transaction every statement reads at the
+                # transaction's pinned snapshot; otherwise Database.execute
+                # pins per-statement (when transactions are enabled at all).
+                snapshot=session.txn_snapshot(),
             )
         except ReproError as exc:
             cls = failure_class(exc)
@@ -461,4 +546,7 @@ class ReproServer:
         governor = self.db.memory_governor
         if governor is not None:
             snap["governor"] = governor.snapshot()
+        txn_manager = self.db.txn_manager
+        if txn_manager is not None:
+            snap["txn"] = txn_manager.snapshot_stats()
         return snap

@@ -77,6 +77,11 @@ class Session:
         self.cancel_token: Optional[CancelToken] = None  # guarded-by: registry._lock
         self.statements = 0  # guarded-by: registry._lock
         self.cancel_reason: Optional[str] = None  # guarded-by: registry._lock
+        #: The session's open transaction (a :class:`repro.txn.Transaction`
+        #: handle), ``None`` outside ``begin``..``commit``/``rollback``.
+        #: Teardown pops it under the registry lock and rolls it back
+        #: outside (abort-on-disconnect).
+        self.txn = None  # guarded-by: registry._lock
 
     # --------------------------------------------------------------- writes
 
@@ -146,6 +151,38 @@ class Session:
             if self.state != CLOSED:
                 self.state = CLOSING
 
+    # ----------------------------------------------------------- transactions
+
+    def set_txn(self, txn) -> None:
+        """Install the session's open transaction (reader thread only).
+
+        Raises :class:`ProtocolError` when one is already open — the wire
+        protocol has no nested transactions.
+        """
+        with self.registry._lock:
+            if self.txn is not None:
+                raise ProtocolError(
+                    "a transaction is already open on this session"
+                )
+            self.txn = txn
+
+    def take_txn(self):
+        """Detach and return the open transaction (``None`` when absent).
+
+        The registry lock covers only the handoff; the caller runs the
+        commit/rollback *outside* it (rank 0 must never be held into the
+        epoch lock's critical section longer than necessary)."""
+        with self.registry._lock:
+            txn = self.txn
+            self.txn = None
+        return txn
+
+    def txn_snapshot(self):
+        """The open transaction's pinned snapshot, or ``None``."""
+        with self.registry._lock:
+            txn = self.txn
+        return txn.snapshot if txn is not None else None
+
     # ------------------------------------------------------------ reporting
 
     def describe_locked(self) -> dict:
@@ -154,6 +191,7 @@ class Session:
             "session": self.session_id,
             "state": self.state,
             "statements": self.statements,
+            "txn_open": self.txn is not None,
             "idle_seconds": None,  # filled in by the registry sweep
         }
 

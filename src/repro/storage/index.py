@@ -10,6 +10,14 @@ Two index kinds are modeled:
 
 Both index kinds ignore NULL keys, matching SQL semantics where ``col = x``
 never matches NULL.
+
+``rebuild`` publishes its result as a **single attribute assignment** of a
+fully built structure.  The transaction layer rebuilds indexes inside the
+commit critical section while snapshot readers may be probing concurrently;
+atomic publication means a concurrent probe sees either the old structure or
+the new one, never a half-built hybrid (a stale probe can at worst return
+rids at or above the reader's snapshot watermark, which the snapshot filter
+drops).
 """
 
 from __future__ import annotations
@@ -55,13 +63,15 @@ class HashIndex(Index):
         self.rebuild()
 
     def rebuild(self) -> None:
-        self._buckets = {}
         pos = self._col_pos
+        buckets: dict[Any, list[int]] = {}
         for rid, row in enumerate(self.table.rows):
             key = row[pos]
             if key is None:
                 continue
-            self._buckets.setdefault(key, []).append(rid)
+            buckets.setdefault(key, []).append(rid)
+        # Single assignment: concurrent probes see old or new, never partial.
+        self._buckets = buckets
 
     def lookup(self, key: Any) -> list[int]:
         if key is None:
@@ -79,9 +89,16 @@ class SortedIndex(Index):
 
     def __init__(self, name: str, table: Table, column: str):
         super().__init__(name, table, column)
-        self._keys: list[Any] = []
-        self._rids: list[int] = []
+        self._entries: tuple[list[Any], list[int]] = ([], [])
         self.rebuild()
+
+    @property
+    def _keys(self) -> list[Any]:
+        return self._entries[0]
+
+    @property
+    def _rids(self) -> list[int]:
+        return self._entries[1]
 
     def rebuild(self) -> None:
         pos = self._col_pos
@@ -90,15 +107,18 @@ class SortedIndex(Index):
             for rid, row in enumerate(self.table.rows)
             if row[pos] is not None
         )
-        self._keys = [k for k, _ in pairs]
-        self._rids = [r for _, r in pairs]
+        # Keys and rids are published as one tuple in a single assignment so
+        # a concurrent probe never pairs new keys with old rids (or reads a
+        # torn keys/rids pair mid-rebuild).
+        self._entries = ([k for k, _ in pairs], [r for _, r in pairs])
 
     def lookup(self, key: Any) -> list[int]:
         if key is None:
             return []
-        lo = bisect_left(self._keys, key)
-        hi = bisect_right(self._keys, key)
-        return self._rids[lo:hi]
+        keys, rids = self._entries
+        lo = bisect_left(keys, key)
+        hi = bisect_right(keys, key)
+        return rids[lo:hi]
 
     def range_scan(
         self,
@@ -109,14 +129,15 @@ class SortedIndex(Index):
     ) -> Iterator[int]:
         """Yield rids with keys in the given (possibly open-ended) range,
         in key order."""
+        keys, rids = self._entries
         lo = 0
-        hi = len(self._keys)
+        hi = len(keys)
         if low is not None:
-            lo = bisect_left(self._keys, low) if low_inclusive else bisect_right(self._keys, low)
+            lo = bisect_left(keys, low) if low_inclusive else bisect_right(keys, low)
         if high is not None:
-            hi = bisect_right(self._keys, high) if high_inclusive else bisect_left(self._keys, high)
+            hi = bisect_right(keys, high) if high_inclusive else bisect_left(keys, high)
         for i in range(lo, hi):
-            yield self._rids[i]
+            yield rids[i]
 
     def min_key(self) -> Any:
         return self._keys[0] if self._keys else None

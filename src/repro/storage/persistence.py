@@ -5,12 +5,27 @@ definitions) and one JSON-lines file per table under ``data/``.  All value
 types round-trip exactly: INT/FLOAT/STR natively, DATE as its day number,
 NULL as JSON ``null``.  Statistics are re-collected on load (they derive
 from the data).
+
+Writes are crash-safe, independent of the WAL layer (:mod:`repro.storage.wal`
+protects *transactions*; this module protects *whole-database exports*):
+
+* every file is written to a ``.tmp`` sibling, flushed, fsynced, and
+  atomically installed with ``os.replace`` — a crash mid-save leaves the
+  previous export intact, never a torn hybrid;
+* the data files land first and ``schema.json`` last, so the manifest is
+  the commit point: a directory with a fresh manifest always has all the
+  data files the manifest names;
+* format version 2 adds a CRC32 checksum per data file to the manifest;
+  the loader verifies them, so silent corruption fails loudly as a
+  :class:`PersistenceError` instead of loading wrong rows.  Version-1
+  directories (no checksums) still load.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Optional
 
 from repro.common.errors import ReproError
@@ -18,22 +33,62 @@ from repro.core.database import Database
 
 _SCHEMA_FILE = "schema.json"
 _DATA_DIR = "data"
-_FORMAT_VERSION = 1
+#: Current writer version.  ``2`` = atomic install + per-file checksums.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 class PersistenceError(ReproError):
     """The on-disk database is missing or malformed."""
 
 
+def _atomic_write(path: str, data: bytes) -> None:
+    """temp file + flush + fsync + ``os.replace``: all-or-nothing install."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort directory-entry fsync (not available on all platforms)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def save_database(db: Database, path: str) -> None:
-    """Write ``db``'s schema, indexes, and data under directory ``path``."""
-    os.makedirs(os.path.join(path, _DATA_DIR), exist_ok=True)
+    """Write ``db``'s schema, indexes, and data under directory ``path``.
+
+    Atomic per file, with the manifest written last as the commit point;
+    re-saving over an existing export can never leave it torn.
+    """
+    data_dir = os.path.join(path, _DATA_DIR)
+    os.makedirs(data_dir, exist_ok=True)
+    checksums: dict[str, int] = {}
+    for table in db.catalog.tables():
+        payload = b"".join(
+            json.dumps(list(row)).encode("utf-8") + b"\n" for row in table.rows
+        )
+        checksums[table.name] = zlib.crc32(payload)
+        _atomic_write(os.path.join(data_dir, f"{table.name}.jsonl"), payload)
+    _fsync_directory(data_dir)
     schema = {
         "version": _FORMAT_VERSION,
         "tables": {
             table.name: [[c.name, c.dtype.value] for c in table.schema]
             for table in db.catalog.tables()
         },
+        "checksums": checksums,
         "indexes": [
             {
                 "name": index.name,
@@ -45,13 +100,11 @@ def save_database(db: Database, path: str) -> None:
             for index in db.catalog.indexes_on(table.name)
         ],
     }
-    with open(os.path.join(path, _SCHEMA_FILE), "w") as f:
-        json.dump(schema, f, indent=2, sort_keys=True)
-    for table in db.catalog.tables():
-        file_path = os.path.join(path, _DATA_DIR, f"{table.name}.jsonl")
-        with open(file_path, "w") as f:
-            for row in table.rows:
-                f.write(json.dumps(list(row)) + "\n")
+    _atomic_write(
+        os.path.join(path, _SCHEMA_FILE),
+        json.dumps(schema, indent=2, sort_keys=True).encode("utf-8"),
+    )
+    _fsync_directory(path)
 
 
 def load_database(
@@ -60,28 +113,40 @@ def load_database(
     db: Optional[Database] = None,
     **db_kwargs,
 ) -> Database:
-    """Load a database previously written by :func:`save_database`."""
+    """Load a database previously written by :func:`save_database`.
+
+    Accepts format versions 1 (legacy, no checksums) and 2; a version-2
+    data file whose checksum mismatches the manifest raises
+    :class:`PersistenceError` rather than loading silently corrupt rows.
+    """
     schema_path = os.path.join(path, _SCHEMA_FILE)
     if not os.path.exists(schema_path):
         raise PersistenceError(f"no database found at {path!r}")
     with open(schema_path) as f:
         schema = json.load(f)
     version = schema.get("version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise PersistenceError(
             f"unsupported database format version {version!r}"
         )
+    checksums = schema.get("checksums", {})
     database = db if db is not None else Database(**db_kwargs)
     for table_name, columns in schema["tables"].items():
         database.create_table(table_name, [tuple(c) for c in columns])
         file_path = os.path.join(path, _DATA_DIR, f"{table_name}.jsonl")
         if not os.path.exists(file_path):
             raise PersistenceError(f"missing data file for table {table_name!r}")
+        with open(file_path, "rb") as f:
+            payload = f.read()
+        if version >= 2 and table_name in checksums:
+            if zlib.crc32(payload) != checksums[table_name]:
+                raise PersistenceError(
+                    f"checksum mismatch in data file for table {table_name!r}"
+                )
         rows = []
-        with open(file_path) as f:
-            for line in f:
-                if line.strip():
-                    rows.append(tuple(json.loads(line)))
+        for line in payload.decode("utf-8").splitlines():
+            if line.strip():
+                rows.append(tuple(json.loads(line)))
         database.catalog.table(table_name).load_raw(rows)
     for index in schema.get("indexes", []):
         database.create_index(

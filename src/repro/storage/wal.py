@@ -1,0 +1,357 @@
+"""Crash-safe durability: a checksummed WAL and atomic checkpoints.
+
+The write-ahead log is the commit point of the transaction layer
+(:mod:`repro.txn`): a transaction is durable exactly when its commit
+record's ``fsync`` has returned.  The format is deliberately boring —
+every record is::
+
+    4-byte big-endian payload length
+    4-byte big-endian CRC32 of the payload
+    payload: UTF-8 JSON {"txn": id, "epoch": E, "writes": {table: [rows]}}
+
+so replay needs no index and torn tails are self-evident: a record whose
+header is short, whose payload is short, or whose CRC mismatches marks
+the end of the committed prefix, and :func:`read_wal_records` truncates
+the file back to the last good record (re-running recovery is therefore
+idempotent — the second pass sees only whole records).
+
+Checkpoints bound replay time.  A checkpoint is one JSON file carrying
+the full table state plus the epoch it captured, written to a ``.tmp``
+sibling, fsynced, and atomically installed with ``os.replace`` — a crash
+at any point leaves either the old checkpoint or the new one, never a
+torn hybrid (leftover ``.tmp`` files are swept by :func:`recover`).  The
+body rides under its own CRC32 so silent corruption is detected rather
+than loaded.
+
+Crash injection rides a single optional hook so the storage layer never
+imports the fault machinery: ``crash_hook(point, size, write_partial)``
+is called at every named point (``wal.append``, ``wal.fsync``,
+``wal.durable``, ``checkpoint.write``, ``checkpoint.fsync``,
+``checkpoint.rename``, ``checkpoint.done``).  The hook may return
+``None`` (continue), raise (a simulated process death, or an ``OSError``
+standing in for a failed fsync), or call ``write_partial(k)`` first to
+leave ``k`` bytes of the pending record behind — a torn write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.errors import WalError
+
+__all__ = [
+    "WAL_FILE",
+    "CHECKPOINT_FILE",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_wal_records",
+    "write_checkpoint",
+    "read_checkpoint",
+    "recover",
+    "RecoveredState",
+]
+
+WAL_FILE = "wal.log"
+CHECKPOINT_FILE = "checkpoint.json"
+
+#: ``struct`` layout of the record header: payload length, payload CRC32.
+_HEADER = struct.Struct(">II")
+
+#: Crash-hook type: ``(point, size, write_partial) -> None``.
+CrashHook = Callable[[str, int, Callable[[int], None]], None]
+
+
+def _no_partial(_k: int) -> None:
+    """Placeholder ``write_partial`` for points with no pending bytes."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed transaction as logged: id, epoch, staged writes."""
+
+    txn_id: int
+    epoch: int
+    #: table name -> list of row tuples (JSON-safe values, as stored).
+    writes: dict
+
+    def encode(self) -> bytes:
+        payload = json.dumps(
+            {
+                "txn": self.txn_id,
+                "epoch": self.epoch,
+                "writes": {
+                    name: [list(row) for row in rows]
+                    for name, rows in self.writes.items()
+                },
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode("utf-8")
+        return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "WalRecord":
+        obj = json.loads(payload.decode("utf-8"))
+        return cls(
+            txn_id=obj["txn"],
+            epoch=obj["epoch"],
+            writes={
+                name: [tuple(row) for row in rows]
+                for name, rows in obj["writes"].items()
+            },
+        )
+
+
+class WriteAheadLog:
+    """Append-only commit log with fsync-at-commit and torn-tail rollback.
+
+    Not thread-safe by itself: the transaction manager serializes appends
+    under its epoch lock (the WAL is part of the commit critical section).
+    """
+
+    def __init__(self, directory: str, crash_hook: Optional[CrashHook] = None):
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.path = os.path.join(directory, WAL_FILE)
+        self.crash_hook = crash_hook
+        self._file = open(self.path, "ab")
+        self._poisoned: Optional[str] = None
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.fsyncs = 0
+
+    # ----------------------------------------------------------------- hooks
+
+    def _hook(self, point: str, record: bytes = b"") -> None:
+        if self.crash_hook is None:
+            return
+
+        def write_partial(k: int) -> None:
+            self._file.write(record[:k])
+            self._file.flush()
+
+        self.crash_hook(point, len(record), write_partial)
+
+    # ---------------------------------------------------------------- append
+
+    def append_commit(self, record: WalRecord) -> int:
+        """Durably append one commit record; returns its encoded size.
+
+        The record is written, flushed, and fsynced before return — when
+        this method returns, the transaction survives a crash.  A failed
+        fsync rolls the file back to the pre-append offset so the
+        unsynced record can never replay; if even the rollback fails the
+        log is poisoned and every further commit refuses with
+        :class:`~repro.common.errors.WalError`.
+        """
+        if self._poisoned is not None:
+            raise WalError(
+                f"write-ahead log is poisoned ({self._poisoned}); "
+                "the database must be re-opened to recover"
+            )
+        encoded = record.encode()
+        start = self._file.tell()
+        self._hook("wal.append", encoded)
+        try:
+            self._file.write(encoded)
+            self._file.flush()
+            self._hook("wal.fsync", encoded)
+            os.fsync(self._file.fileno())
+        except OSError as exc:
+            try:
+                self._file.truncate(start)
+                self._file.seek(start)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            except OSError:
+                self._poisoned = f"fsync failed and rollback failed: {exc}"
+                raise WalError(self._poisoned) from exc
+            raise WalError(f"wal append failed: {exc}") from exc
+        self._hook("wal.durable", encoded)
+        self.records_appended += 1
+        self.bytes_appended += len(encoded)
+        self.fsyncs += 1
+        return len(encoded)
+
+    def reset(self) -> None:
+        """Truncate the log to empty (called after a checkpoint installs)."""
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------- replay
+
+
+def read_wal_records(path: str) -> tuple[list[WalRecord], int, int]:
+    """Parse a WAL file: ``(records, good_bytes, total_bytes)``.
+
+    Stops at the first torn record (short header, short payload, CRC
+    mismatch, or undecodable payload): everything before it is the
+    committed prefix, everything after is discarded by the caller.
+    """
+    if not os.path.exists(path):
+        return [], 0, 0
+    with open(path, "rb") as f:
+        data = f.read()
+    records: list[WalRecord] = []
+    offset = 0
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            break  # torn payload
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # torn or corrupt record
+        try:
+            records.append(WalRecord.decode_payload(payload))
+        except (ValueError, KeyError):
+            break  # checksummed garbage (should not happen; stop anyway)
+        offset = end
+    return records, offset, total
+
+
+# ------------------------------------------------------------- checkpoints
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory entry (not available everywhere)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_checkpoint(
+    directory: str,
+    state: dict,
+    crash_hook: Optional[CrashHook] = None,
+) -> int:
+    """Atomically install ``state`` as the checkpoint; returns bytes written.
+
+    ``state`` must be JSON-serializable (the transaction manager passes
+    ``{"epoch": E, "tables": {...}}``).  Temp file + fsync +
+    ``os.replace``: a crash at any point leaves the previous checkpoint
+    intact or the new one fully installed.
+    """
+    body = json.dumps(state, separators=(",", ":"), sort_keys=True)
+    content = json.dumps(
+        {"crc": zlib.crc32(body.encode("utf-8")), "state": state},
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    final = os.path.join(directory, CHECKPOINT_FILE)
+    tmp = final + ".tmp"
+
+    def hook(point: str, record: bytes = b"", writer=None) -> None:
+        if crash_hook is None:
+            return
+        crash_hook(point, len(record), writer if writer is not None else _no_partial)
+
+    with open(tmp, "wb") as f:
+
+        def write_partial(k: int) -> None:
+            f.write(content[:k])
+            f.flush()
+
+        hook("checkpoint.write", content, write_partial)
+        f.write(content)
+        f.flush()
+        hook("checkpoint.fsync", content)
+        os.fsync(f.fileno())
+    hook("checkpoint.rename")
+    os.replace(tmp, final)
+    _fsync_directory(directory)
+    hook("checkpoint.done")
+    return len(content)
+
+
+def read_checkpoint(directory: str) -> Optional[dict]:
+    """The installed checkpoint's state, or ``None`` when there is none.
+
+    A CRC mismatch is a hard :class:`~repro.common.errors.WalError`:
+    ``os.replace`` is atomic, so a bad checksum means silent corruption,
+    not a crash artifact — loading it would be a wrong-answer bug.
+    """
+    path = os.path.join(directory, CHECKPOINT_FILE)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "rb") as f:
+            obj = json.load(f)
+    except (OSError, ValueError) as exc:
+        raise WalError(f"unreadable checkpoint {path!r}: {exc}") from exc
+    body = json.dumps(obj.get("state"), separators=(",", ":"), sort_keys=True)
+    if zlib.crc32(body.encode("utf-8")) != obj.get("crc"):
+        raise WalError(f"checkpoint checksum mismatch in {path!r}")
+    return obj["state"]
+
+
+# ------------------------------------------------------------------ recover
+
+
+@dataclass
+class RecoveredState:
+    """Everything recovery-on-open found on disk."""
+
+    checkpoint: Optional[dict]
+    records: list = field(default_factory=list)
+    truncated_bytes: int = 0
+    removed_temp_files: list = field(default_factory=list)
+
+
+def recover(directory: str) -> RecoveredState:
+    """Recovery-on-open: sweep temp files, load the checkpoint, replay
+    the committed WAL suffix, truncate the torn tail.
+
+    Records with ``epoch <= checkpoint epoch`` are dropped here (they are
+    already folded into the checkpoint), which together with the physical
+    truncation makes replay idempotent: running :func:`recover` twice
+    yields identical state.
+    """
+    os.makedirs(directory, exist_ok=True)
+    removed = []
+    for name in sorted(os.listdir(directory)):
+        if ".tmp" in name:
+            try:
+                os.remove(os.path.join(directory, name))
+                removed.append(name)
+            except OSError:
+                pass
+    checkpoint = read_checkpoint(directory)
+    base_epoch = checkpoint["epoch"] if checkpoint is not None else 0
+    wal_path = os.path.join(directory, WAL_FILE)
+    records, good_bytes, total_bytes = read_wal_records(wal_path)
+    truncated = total_bytes - good_bytes
+    if truncated and os.path.exists(wal_path):
+        with open(wal_path, "r+b") as f:
+            f.truncate(good_bytes)
+            f.flush()
+            os.fsync(f.fileno())
+    return RecoveredState(
+        checkpoint=checkpoint,
+        records=[r for r in records if r.epoch > base_epoch],
+        truncated_bytes=truncated,
+        removed_temp_files=removed,
+    )

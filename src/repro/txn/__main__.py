@@ -1,0 +1,8 @@
+"""``python -m repro.txn`` runs the kill-crash chaos harness."""
+
+import sys
+
+from repro.txn.chaos import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,3 +103,68 @@ class TestFailureModes:
         os.remove(path / "data" / "t.jsonl")
         with pytest.raises(PersistenceError, match="missing data file"):
             load_database(str(path))
+
+
+class TestCrashSafeFormat:
+    """Format v2: atomic installs, per-file checksums, v1 compatibility."""
+
+    def test_writes_version_2_with_checksums(self, tmp_path):
+        path = tmp_path / "db"
+        save_database(make_db(), str(path))
+        schema = json.loads((path / "schema.json").read_text())
+        assert schema["version"] == 2
+        assert "t" in schema["checksums"]
+        import zlib
+
+        payload = (path / "data" / "t.jsonl").read_bytes()
+        assert schema["checksums"]["t"] == zlib.crc32(payload)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "db"
+        save_database(make_db(), str(path))
+        save_database(make_db(), str(path))  # overwrite in place
+        leftovers = [
+            name
+            for root, _dirs, names in os.walk(path)
+            for name in names
+            if ".tmp" in name
+        ]
+        assert leftovers == []
+
+    def test_corrupt_data_file_is_loud(self, tmp_path):
+        path = tmp_path / "db"
+        save_database(make_db(), str(path))
+        data_file = path / "data" / "t.jsonl"
+        payload = bytearray(data_file.read_bytes())
+        payload[0] ^= 0xFF
+        data_file.write_bytes(bytes(payload))
+        with pytest.raises(PersistenceError, match="checksum mismatch"):
+            load_database(str(path))
+
+    def test_version_1_without_checksums_still_loads(self, tmp_path):
+        path = tmp_path / "db"
+        save_database(make_db(), str(path))
+        schema_file = path / "schema.json"
+        content = json.loads(schema_file.read_text())
+        content["version"] = 1
+        del content["checksums"]
+        schema_file.write_text(json.dumps(content))
+        restored = load_database(str(path))
+        assert restored.catalog.table("t").row_count == 3
+
+    def test_corrupt_v1_loads_silently_v2_does_not(self, tmp_path):
+        # The checksum is exactly what v2 adds: the same corruption that
+        # v1 cannot see, v2 refuses to load.
+        path = tmp_path / "db"
+        save_database(make_db(), str(path))
+        data_file = path / "data" / "t.jsonl"
+        rows = data_file.read_bytes().splitlines(keepends=True)
+        data_file.write_bytes(b"".join(rows[:-1]))  # drop the last row
+        with pytest.raises(PersistenceError, match="checksum mismatch"):
+            load_database(str(path))
+        schema_file = path / "schema.json"
+        content = json.loads(schema_file.read_text())
+        content["version"] = 1
+        del content["checksums"]
+        schema_file.write_text(json.dumps(content))
+        assert load_database(str(path)).catalog.table("t").row_count == 2
